@@ -1,0 +1,668 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Baig & Madsen, DATE 2017).
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig2    -- one artefact
+                                 fig3 | fig4 | fig5 | table1 | timing
+
+   Absolute numbers differ from the paper (our substrate is a re-built
+   simulator, not the authors' testbed); the *shape* of each result is
+   what the harness reproduces. EXPERIMENTS.md records the comparison. *)
+
+module Truth_table = Glc_logic.Truth_table
+module Expr = Glc_logic.Expr
+module Trace = Glc_ssa.Trace
+module Circuit = Glc_gates.Circuit
+module Circuits = Glc_gates.Circuits
+module Cello = Glc_gates.Cello
+module Benchmarks = Glc_gates.Benchmarks
+module Protocol = Glc_dvasim.Protocol
+module Experiment = Glc_dvasim.Experiment
+module Digital = Glc_core.Digital
+module Analyzer = Glc_core.Analyzer
+module Verify = Glc_core.Verify
+module Report = Glc_core.Report
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let analyze_with_protocol protocol circuit =
+  let e = Experiment.run ~protocol circuit in
+  let r, v = Verify.experiment e in
+  (e, r, v)
+
+let print_analysis circuit (r : Analyzer.result) (v : Verify.report) =
+  Format.printf "%a@."
+    (Report.pp_result ~output_name:circuit.Circuit.output)
+    r;
+  Format.printf "expected minterms: %s@."
+    (String.concat ", "
+       (List.map
+          (Format.asprintf "%a"
+             (Report.pp_combination ~arity:r.Analyzer.arity))
+          (Truth_table.minterms circuit.Circuit.expected)));
+  Format.printf "%a@." Report.pp_verification v
+
+(* ---- Fig. 2: the 2-input genetic AND gate ---- *)
+
+let fig2 () =
+  section "Fig. 2 -- 2-input genetic AND gate: case and variation analysis";
+  let circuit = Circuits.genetic_and () in
+  let e, r, v = analyze_with_protocol Protocol.default circuit in
+  (* the paper's plot shows an initial high glitch of GFP while CI builds
+     up; quantify it so the effect is visible without a plot *)
+  let out = Trace.column e.Experiment.trace circuit.Circuit.output in
+  let first_500 = Array.sub out 0 500 in
+  let glitch =
+    Digital.count_high (Digital.of_samples ~threshold:15. first_500)
+  in
+  Printf.printf
+    "initial transient: %d of the first 500 samples read logic-1 while \
+     combination 00 is applied (the paper's 'unwanted high peak')\n\n"
+    glitch;
+  print_analysis circuit r v
+
+(* ---- Fig. 3: why both filters are needed ---- *)
+
+let fig3 () =
+  section "Fig. 3 -- both filters applied together";
+  Printf.printf
+    "Two synthetic output streams with the SAME number of logic-1 \
+     samples (the paper's example):\n\n";
+  let stable = Array.init 30 (fun k -> k < 16) in
+  let oscillating =
+    Array.init 30 (fun k -> if k < 2 then true else k mod 2 = 0)
+  in
+  let describe name stream =
+    let case = Array.length stream in
+    let high = Digital.count_high stream in
+    let var = Digital.count_variations stream in
+    let fov = float_of_int var /. float_of_int case in
+    let eq1 = fov < 0.25 and eq2 = 2 * high > case in
+    Printf.printf
+      "%-12s Case_I=%d High_O=%d Var_O=%2d FOV=%.3f  eq(1) %s, eq(2) %s \
+       -> %s\n"
+      name case high var fov
+      (if eq1 then "pass" else "FAIL")
+      (if eq2 then "pass" else "FAIL")
+      (if eq1 && eq2 then "kept as a minterm" else "discarded");
+  in
+  describe "stable" stable;
+  describe "oscillating" oscillating;
+  Printf.printf
+    "\nWith eq(2) alone both streams would be accepted and the extracted \
+     logic would be wrong; eq(1) discards the unstable one.\n"
+
+(* ---- Fig. 4: analytics of circuits 0x0B, 0x04, 0x1C ---- *)
+
+let fig4 () =
+  section "Fig. 4 -- analytical simulation data of 0x0B, 0x04 and 0x1C";
+  List.iter
+    (fun circuit ->
+      subsection ("circuit " ^ circuit.Circuit.name);
+      let _, r, v = analyze_with_protocol Protocol.default circuit in
+      print_analysis circuit r v)
+    [ Cello.circuit_0x0B (); Cello.circuit_0x04 (); Cello.circuit_0x1C () ]
+
+(* ---- Fig. 5: threshold variation on 0x0B ---- *)
+
+let fig5 () =
+  section "Fig. 5 -- circuit 0x0B under threshold variation";
+  Printf.printf
+    "The threshold value also sets the amount applied for a logic-1 \
+     input, as in the paper. The paper reports wrong behaviour at 3 and \
+     40 molecules around a ~55-molecule high rail; our gates settle near \
+     100 molecules, so the high-side failure appears at 90 instead \
+     (see EXPERIMENTS.md).\n";
+  List.iter
+    (fun threshold ->
+      subsection (Printf.sprintf "threshold %g molecules" threshold);
+      let protocol = Protocol.with_threshold Protocol.default threshold in
+      let circuit = Cello.circuit_0x0B () in
+      let _, r, v = analyze_with_protocol protocol circuit in
+      print_analysis circuit r v)
+    [ 3.; 15.; 40.; 90. ]
+
+(* ---- Table 1 (SS III): the 15-circuit evaluation ---- *)
+
+let table1 () =
+  section "Table 1 -- the 15-circuit evaluation (paper SS III)";
+  Printf.printf "%-14s %6s %5s %10s %-9s %8s  %s\n" "circuit" "inputs"
+    "gates" "components" "verdict" "fitness" "extracted expression";
+  let verified = ref 0 in
+  List.iter
+    (fun circuit ->
+      let _, r, v = analyze_with_protocol Protocol.default circuit in
+      if v.Verify.verified then incr verified;
+      Printf.printf "%-14s %6d %5d %10d %-9s %7.2f%%  %s\n"
+        circuit.Circuit.name (Circuit.arity circuit)
+        (Circuit.n_gates circuit)
+        (Circuit.n_components circuit)
+        (if v.Verify.verified then "verified" else "WRONG")
+        r.Analyzer.fitness
+        (Expr.to_string r.Analyzer.expr))
+    (Benchmarks.all ());
+  Printf.printf "\n%d/15 circuits verified under the paper's protocol \
+                 (10,000 t.u., hold 1,000, threshold 15, FOV_UD 0.25)\n"
+    !verified
+
+(* ---- SS IV: runtime of the analysis algorithm ---- *)
+
+(* A large synthetic log exercising the analyzer alone: [samples] points
+   of a 3-input experiment with a plausible output pattern. *)
+let synthetic_data ~samples ~arity =
+  let names =
+    Array.append
+      (Array.init arity (fun j -> Printf.sprintf "I%d" (j + 1)))
+      [| "OUT" |]
+  in
+  let nc = 1 lsl arity in
+  let hold = samples / (2 * nc) in
+  let r =
+    Trace.Recorder.create ~names
+      ~initial:(Array.make (arity + 1) 0.)
+      ~t0:0.
+      ~t_end:(float_of_int (samples - 1))
+      ~dt:1.
+  in
+  for k = 0 to samples - 1 do
+    let row = k / (max hold 1) mod nc in
+    let state =
+      Array.init (arity + 1) (fun j ->
+          if j < arity then
+            if (row lsr (arity - 1 - j)) land 1 = 1 then 30. else 0.
+          else if row land 1 = 1 then
+            (* noisy high output with occasional dips *)
+            if k mod 97 = 0 then 5. else 40.
+          else 1.)
+    in
+    Trace.Recorder.observe r (float_of_int k) state
+  done;
+  {
+    Analyzer.trace = Trace.Recorder.finish r;
+    inputs = Array.init arity (fun j -> Printf.sprintf "I%d" (j + 1));
+    output = "OUT";
+  }
+
+let run_bechamel tests =
+  let open Bechamel in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 1.5) ~kde:None ()
+  in
+  let witness = Toolkit.Instance.monotonic_clock in
+  let results = Benchmark.all cfg [ witness ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let tbl = Analyze.all ols witness results in
+  let rows =
+    Hashtbl.fold
+      (fun name r acc ->
+        let est =
+          match Analyze.OLS.estimates r with
+          | Some [ t ] -> t
+          | Some _ | None -> nan
+        in
+        (name, est) :: acc)
+      tbl []
+  in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "  %-42s %s\n" name pretty)
+    (List.sort compare rows)
+
+let timing () =
+  section "SS IV -- runtime of the logic analysis (paper: ~8.4 s for a \
+           complex circuit on large data)";
+  let data_10k = synthetic_data ~samples:10_000 ~arity:3 in
+  let data_100k = synthetic_data ~samples:100_000 ~arity:3 in
+  let data_1m = synthetic_data ~samples:1_000_000 ~arity:3 in
+  let data_4in = synthetic_data ~samples:100_000 ~arity:4 in
+  (* one-shot wall-clock for the paper's headline number *)
+  let t0 = Sys.time () in
+  ignore (Analyzer.run data_1m);
+  let headline = Sys.time () -. t0 in
+  Printf.printf
+    "one-shot: analysing a 1,000,000-sample 3-input log takes %.3f s \
+     (paper reports ~8.4 s on its testbed)\n\n"
+    headline;
+  Printf.printf "Bechamel estimates (time per analysis):\n";
+  let open Bechamel in
+  run_bechamel
+    (Test.make_grouped ~name:"analyzer"
+       [
+         Test.make ~name:"analyze/10k-samples/3-input"
+           (Staged.stage (fun () -> Analyzer.run data_10k));
+         Test.make ~name:"analyze/100k-samples/3-input"
+           (Staged.stage (fun () -> Analyzer.run data_100k));
+         Test.make ~name:"analyze/1M-samples/3-input"
+           (Staged.stage (fun () -> Analyzer.run data_1m));
+         Test.make ~name:"analyze/100k-samples/4-input"
+           (Staged.stage (fun () -> Analyzer.run data_4in));
+       ]);
+  Printf.printf "\nSupporting stages (simulation and synthesis):\n";
+  let circuit = Cello.circuit_0x0B () in
+  let quick = Protocol.make ~total_time:1_000. ~hold_time:125. () in
+  run_bechamel
+    (Test.make_grouped ~name:"pipeline"
+       [
+         Test.make ~name:"synthesize/0x1C"
+           (Staged.stage (fun () -> Cello.of_code 0x1C));
+         Test.make ~name:"simulate/0x0B/1k-t.u."
+           (Staged.stage (fun () -> Experiment.run ~protocol:quick circuit));
+       ])
+
+(* ---- ablations: design choices called out in DESIGN.md ---- *)
+
+(* The paper: "if ... each of the input combination is changed before the
+   propagation delay has elapsed, then the circuit never produces a
+   correct output for some of the input combinations." *)
+let ablation_hold () =
+  section "Ablation A1 -- hold time vs. propagation delay";
+  let circuit = Cello.circuit_0x1C () in
+  Printf.printf "%9s %-9s %8s %12s\n" "hold t.u." "verdict" "fitness"
+    "wrong states";
+  List.iter
+    (fun hold ->
+      let protocol =
+        Protocol.make ~total_time:(hold *. 16.) ~hold_time:hold ()
+      in
+      let _, r, v = analyze_with_protocol protocol circuit in
+      Printf.printf "%9g %-9s %7.2f%% %12d\n" hold
+        (if v.Verify.verified then "verified" else "WRONG")
+        r.Analyzer.fitness
+        (List.length v.Verify.wrong_states))
+    [ 25.; 50.; 100.; 200.; 500.; 1000. ];
+  Printf.printf
+    "\nHolds shorter than the propagation delay (~50-100 t.u. for this \
+     circuit's gates, x5 for safety) leave stale outputs in some \
+     combinations, exactly as the paper warns.\n"
+
+let ablation_fov () =
+  section "Ablation A2 -- sensitivity to FOV_UD (eq. 1)";
+  let circuit = Cello.circuit_0x0B () in
+  (* run past the top of the operating window, where the output
+     oscillates heavily around the threshold *)
+  let threshold = 90. in
+  let protocol = Protocol.with_threshold Protocol.default threshold in
+  let e = Experiment.run ~protocol circuit in
+  Printf.printf "threshold %g molecules (oscillatory operating point; \
+                 expected minterms 000, 001, 011):\n" threshold;
+  Printf.printf "%8s %-26s %8s\n" "FOV_UD" "kept minterms" "fitness";
+  List.iter
+    (fun fov_ud ->
+      let r =
+        Analyzer.of_experiment ~params:{ Analyzer.threshold; fov_ud } e
+      in
+      let kept =
+        String.concat ", "
+          (List.map
+             (Format.asprintf "%a" (Report.pp_combination ~arity:3))
+             r.Analyzer.minterms)
+      in
+      Printf.printf "%8g %-26s %7.2f%%\n" fov_ud kept r.Analyzer.fitness)
+    [ 0.005; 0.05; 0.25; 0.5; 1.0 ];
+  Printf.printf
+    "\nBelow ~0.1 the stability filter starts discarding genuine \
+     minterms (their decay tails count as variation) until the extracted \
+     logic collapses to constant-0 with a deceptively perfect fitness; \
+     from 0.25 up the result is stable. The heavily oscillating 011 is \
+     removed by eq. (2) here — the synthetic Fig. 3 case in this harness \
+     shows the converse, where only eq. (1) can reject.\n"
+
+let ablation_algorithms () =
+  section "Ablation A3 -- simulation algorithm";
+  let circuit = Cello.circuit_0x0B () in
+  let model = Glc_gates.Circuit.model circuit in
+  let events =
+    Experiment.input_schedule Protocol.default circuit
+  in
+  let analyse trace =
+    let r =
+      Analyzer.run
+        {
+          Analyzer.trace;
+          inputs = circuit.Circuit.inputs;
+          output = circuit.Circuit.output;
+        }
+    in
+    let v = Verify.against ~expected:circuit.Circuit.expected r in
+    (r, v)
+  in
+  Printf.printf "%-22s %-9s %8s %10s %9s\n" "algorithm" "verdict" "fitness"
+    "firings" "wall (s)";
+  let stochastic name algorithm =
+    let cfg =
+      Glc_ssa.Sim.config ~seed:42 ~algorithm ~t_end:10_000. ()
+    in
+    let t0 = Sys.time () in
+    let trace, stats = Glc_ssa.Sim.run_with_stats ~events cfg model in
+    let wall = Sys.time () -. t0 in
+    let r, v = analyse trace in
+    Printf.printf "%-22s %-9s %7.2f%% %10d %9.3f\n" name
+      (if v.Verify.verified then "verified" else "WRONG")
+      r.Analyzer.fitness stats.Glc_ssa.Sim.reactions_fired wall
+  in
+  stochastic "direct (Gillespie)" Glc_ssa.Sim.Direct;
+  stochastic "next-reaction" Glc_ssa.Sim.Next_reaction;
+  stochastic "tau-leap eps=0.03"
+    (Glc_ssa.Sim.Tau_leaping { epsilon = 0.03 });
+  (* the deterministic (ODE) limit: noise-free traces, perfect fitness *)
+  let t0 = Sys.time () in
+  let trace =
+    Glc_ssa.Ode.run ~events (Glc_ssa.Ode.config ~t_end:10_000. ()) model
+  in
+  let wall = Sys.time () -. t0 in
+  let r, v = analyse trace in
+  Printf.printf "%-22s %-9s %7.2f%% %10s %9.3f\n" "ODE (RK4, determ.)"
+    (if v.Verify.verified then "verified" else "WRONG")
+    r.Analyzer.fitness "-" wall;
+  Printf.printf
+    "\nAll variants recover the same logic; the ODE limit shows the \
+     fitness penalty is pure stochastic noise. At genetic copy numbers \
+     (~100 molecules) tau-leaping falls back to exact stepping — the \
+     leap condition only pays off at high copy numbers:\n\n";
+  (* high-copy-number birth-death process: x* = k/gamma = 10,000 *)
+  let bd =
+    Glc_model.Model.make ~id:"bd"
+      ~species:[ Glc_model.Model.species "X" 0. ]
+      ~parameters:
+        [
+          Glc_model.Model.parameter "k" 1000.;
+          Glc_model.Model.parameter "g" 0.1;
+        ]
+      ~reactions:
+        [
+          Glc_model.Model.reaction ~products:[ ("X", 1) ]
+            ~rate:(Glc_model.Math.var "k") "birth";
+          Glc_model.Model.reaction
+            ~reactants:[ ("X", 1) ]
+            ~rate:Glc_model.Math.(var "g" * var "X")
+            "death";
+        ]
+      ()
+  in
+  Printf.printf "%-22s %10s %9s %12s\n" "birth-death x*=10^4" "firings"
+    "wall (s)" "mean(X) late";
+  List.iter
+    (fun (name, algorithm) ->
+      let cfg = Glc_ssa.Sim.config ~seed:5 ~algorithm ~t_end:500. () in
+      let t0 = Sys.time () in
+      let trace, stats = Glc_ssa.Sim.run_with_stats cfg bd in
+      let wall = Sys.time () -. t0 in
+      let late =
+        Trace.sub trace ~from:250 ~until:(Trace.length trace)
+      in
+      Printf.printf "%-22s %10d %9.3f %12.0f\n" name
+        stats.Glc_ssa.Sim.reactions_fired wall (Trace.mean late "X"))
+    [
+      ("direct (Gillespie)", Glc_ssa.Sim.Direct);
+      ("tau-leap eps=0.03", Glc_ssa.Sim.Tau_leaping { epsilon = 0.03 });
+    ]
+
+let ablation_order () =
+  section "Ablation A5 -- input sequencing: counting vs. Gray code";
+  Printf.printf
+    "The decaying output that 0x0B inherits when stepping 011 -> 100 \
+     (the paper's Fig. 4 discussion) exists because counting order flips \
+     all three inputs at once. Gray order flips one input per step:\n\n";
+  Printf.printf "%-10s %-9s %8s %18s\n" "order" "verdict" "fitness"
+    "stale-high samples";
+  List.iter
+    (fun (name, order) ->
+      let protocol = Protocol.make ~order () in
+      let circuit = Cello.circuit_0x0B () in
+      let _, r, v = analyze_with_protocol protocol circuit in
+      (* logic-1 samples observed on combinations whose expected output
+         is low: decay inherited from the previous combination *)
+      let stale =
+        Array.fold_left
+          (fun acc (c : Analyzer.case_stats) ->
+            if
+              Glc_logic.Truth_table.output circuit.Circuit.expected
+                c.Analyzer.row
+            then acc
+            else acc + c.Analyzer.high_count)
+          0 r.Analyzer.cases
+      in
+      Printf.printf "%-10s %-9s %7.2f%% %18d\n" name
+        (if v.Verify.verified then "verified" else "WRONG")
+        r.Analyzer.fitness stale)
+    [ ("counting", Protocol.Counting); ("gray", Protocol.Gray) ];
+  Printf.printf
+    "\nBoth orders verify — the majority filter absorbs the stale \
+     samples — but Gray sequencing removes most of them at the source.\n"
+
+let ablation_yield () =
+  section "Ablation A4 -- parametric yield under part variation";
+  Printf.printf
+    "Each circuit rebuilt 12 times with every promoter strength and \
+     regulator affinity scaled by an independent log-normal factor:\n\n";
+  Printf.printf "%-14s %14s %14s\n" "circuit" "yield @ 20%" "yield @ 60%";
+  List.iter
+    (fun name ->
+      let circuit = Option.get (Benchmarks.find name) in
+      let yield spread =
+        let y =
+          Glc_core.Robustness.parametric_yield ~trials:12 ~spread circuit
+        in
+        Printf.sprintf "%d/%d" y.Glc_core.Robustness.y_verified
+          y.Glc_core.Robustness.y_trials
+      in
+      Printf.printf "%-14s %14s %14s\n" name (yield 0.2) (yield 0.6))
+    [ "genetic_NOT"; "genetic_AND"; "0x0B"; "0x04"; "0x1C" ];
+  Printf.printf
+    "\nWide noise margins keep the yield high at realistic (~20%%) part \
+     variation; it degrades once parameters vary by the order of the \
+     margins themselves.\n"
+
+let baselines () =
+  section "Baselines -- what the two filters buy (Algorithm 1 vs. naive \
+           extraction)";
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let strategy_names =
+    [
+      "Algorithm 1 (both filters)"; "majority only (eq. 2)";
+      "stability only (eq. 1)"; "endpoint sampling";
+    ]
+  in
+  let run_with name protocol =
+    let threshold = protocol.Protocol.threshold in
+    let strategies data =
+      [
+        Glc_core.Baseline.full
+          ~params:{ Analyzer.threshold; fov_ud = 0.25 }
+          data;
+        Glc_core.Baseline.majority_only ~threshold data;
+        Glc_core.Baseline.stability_only ~threshold ~fov_ud:0.25 data;
+        Glc_core.Baseline.endpoint_sampling ~threshold data;
+      ]
+    in
+    subsection (Printf.sprintf "%s, mean over %d seeds" name
+                  (List.length seeds));
+    Printf.printf "%-28s %-12s %-12s %-12s\n" "wrong states (mean)"
+      "genetic_AND" "0x0B" "0x1C";
+    let circuits =
+      [ Circuits.genetic_and (); Cello.circuit_0x0B ();
+        Cello.circuit_0x1C () ]
+    in
+    (* wrong-state totals: strategy x circuit, summed over seeds *)
+    let totals =
+      List.map
+        (fun circuit ->
+          let per_strategy = Array.make (List.length strategy_names) 0 in
+          List.iter
+            (fun seed ->
+              let protocol = { protocol with Protocol.seed } in
+              let e = Experiment.run ~protocol circuit in
+              let data =
+                {
+                  Analyzer.trace = e.Experiment.trace;
+                  inputs = circuit.Circuit.inputs;
+                  output = circuit.Circuit.output;
+                }
+              in
+              List.iteri
+                (fun si extraction ->
+                  per_strategy.(si) <-
+                    per_strategy.(si)
+                    + Glc_core.Baseline.wrong_states
+                        ~expected:circuit.Circuit.expected extraction)
+                (strategies data))
+            seeds;
+          per_strategy)
+        circuits
+    in
+    List.iteri
+      (fun si name ->
+        Printf.printf "%-28s" name;
+        List.iter
+          (fun per_strategy ->
+            Printf.printf " %-12.1f"
+              (float_of_int per_strategy.(si)
+              /. float_of_int (List.length seeds)))
+          totals;
+        print_newline ())
+      strategy_names
+  in
+  run_with "paper protocol (hold 1,000 t.u.)" Protocol.default;
+  (* a short hold leaves decay tails inside every slot: the regime the
+     filters were designed for *)
+  run_with "stressed protocol (hold 150 t.u.)"
+    (Protocol.make ~total_time:2_400. ~hold_time:150. ());
+  (* oscillatory operating point: single-sample reads become coin flips *)
+  run_with "oscillatory operating point (threshold 85)"
+    (Protocol.with_threshold Protocol.default 85.);
+  Printf.printf
+    "\nWith comfortable holds every strategy extracts the right logic. \
+     Under stress, eq. (1) alone falls into the paper's Fig. 2 trap \
+     (stable glitches read as minterms); at an oscillatory operating \
+     point, single-sample endpoint reads become unreliable while the \
+     statistical filters degrade gracefully.\n"
+
+let population () =
+  section "Population -- single cell vs. plate-reader average";
+  let circuit = Cello.circuit_0x0B () in
+  let model = Circuit.model circuit in
+  let events = Experiment.input_schedule Protocol.default circuit in
+  Printf.printf "%7s %-9s %8s %10s\n" "cells" "verdict" "fitness"
+    "total-var";
+  List.iter
+    (fun cells ->
+      let cfg = Glc_ssa.Sim.config ~seed:42 ~t_end:10_000. () in
+      let mean, _ = Glc_ssa.Population.run ~events ~cells cfg model in
+      let r =
+        Analyzer.run
+          {
+            Analyzer.trace = mean;
+            inputs = circuit.Circuit.inputs;
+            output = circuit.Circuit.output;
+          }
+      in
+      let v = Verify.against ~expected:circuit.Circuit.expected r in
+      let total_var =
+        Array.fold_left
+          (fun acc c -> acc + c.Analyzer.variations)
+          0 r.Analyzer.cases
+      in
+      Printf.printf "%7d %-9s %7.2f%% %10d\n" cells
+        (if v.Verify.verified then "verified" else "WRONG")
+        r.Analyzer.fitness total_var)
+    [ 1; 10; 50 ];
+  Printf.printf
+    "\nAveraging cells suppresses the stochastic variation the filters \
+     exist to absorb: the population signal is effectively the ODE \
+     limit.\n"
+
+let scaling () =
+  section "Scalability -- n-input circuits (the paper's title claim)";
+  Printf.printf "%7s %6s %9s %10s %-9s %8s\n" "inputs" "gates" "sim (s)"
+    "analys (s)" "verdict" "fitness";
+  List.iter
+    (fun n ->
+      (* the n-input AND: output high only on the all-ones combination *)
+      let tt =
+        Glc_logic.Truth_table.of_minterms ~arity:n [ (1 lsl n) - 1 ]
+      in
+      let circuit =
+        Glc_gates.Assembly.synthesize
+          ~library:(Glc_gates.Repressor.extended 32)
+          ~name:(Printf.sprintf "AND%d" n)
+          tt
+      in
+      let protocol =
+        Protocol.make
+          ~total_time:(1_000. *. float_of_int (2 * (1 lsl n)))
+          ~hold_time:1_000. ()
+      in
+      let t0 = Sys.time () in
+      let e = Experiment.run ~protocol circuit in
+      let t1 = Sys.time () in
+      let r, v = Verify.experiment e in
+      let t2 = Sys.time () in
+      Printf.printf "%7d %6d %9.3f %10.3f %-9s %7.2f%%\n" n
+        (Circuit.n_gates circuit)
+        (t1 -. t0) (t2 -. t1)
+        (if v.Verify.verified then "verified" else "WRONG")
+        r.Analyzer.fitness)
+    [ 1; 2; 3; 4 ];
+  Printf.printf
+    "\nSimulation grows with 2^n (more combinations to drive); the \
+     analysis itself stays linear in the number of logged samples.\n"
+
+let all () =
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  fig5 ();
+  table1 ();
+  ablation_hold ();
+  ablation_fov ();
+  ablation_algorithms ();
+  ablation_order ();
+  ablation_yield ();
+  baselines ();
+  population ();
+  scaling ();
+  timing ()
+
+let () =
+  let jobs =
+    match Array.to_list Sys.argv with
+    | _ :: rest when rest <> [] -> rest
+    | _ -> [ "all" ]
+  in
+  List.iter
+    (function
+      | "fig2" -> fig2 ()
+      | "fig3" -> fig3 ()
+      | "fig4" -> fig4 ()
+      | "fig5" -> fig5 ()
+      | "table1" -> table1 ()
+      | "timing" -> timing ()
+      | "ablation_hold" -> ablation_hold ()
+      | "ablation_fov" -> ablation_fov ()
+      | "ablation_algorithms" -> ablation_algorithms ()
+      | "ablation_yield" -> ablation_yield ()
+      | "ablation_order" -> ablation_order ()
+      | "baselines" -> baselines ()
+      | "population" -> population ()
+      | "scaling" -> scaling ()
+      | "all" -> all ()
+      | other ->
+          Printf.eprintf
+            "unknown artefact %S \
+             (fig2|fig3|fig4|fig5|table1|timing|ablation_hold|ablation_fov|\
+             ablation_algorithms|ablation_yield|ablation_order|baselines|population|scaling|all)\n"
+            other;
+          exit 2)
+    jobs

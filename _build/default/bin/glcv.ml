@@ -1,0 +1,589 @@
+(* glcv — genetic logic circuit verifier.
+
+   Command-line front end for the library: list the benchmark circuits,
+   synthesise circuits from truth-table codes, run virtual-laboratory
+   experiments, analyse and verify their logic, estimate thresholds and
+   propagation delays, and export SBML/SBOL models. *)
+
+open Cmdliner
+
+module Circuit = Glc_gates.Circuit
+module Benchmarks = Glc_gates.Benchmarks
+module Cello = Glc_gates.Cello
+module Protocol = Glc_dvasim.Protocol
+module Experiment = Glc_dvasim.Experiment
+module Analyzer = Glc_core.Analyzer
+module Verify = Glc_core.Verify
+module Report = Glc_core.Report
+
+let find_circuit name =
+  match Benchmarks.find name with
+  | Some c -> Ok c
+  | None -> (
+      (* Accept any 0xNN code, not just the benchmark set. *)
+      match int_of_string_opt name with
+      | Some code when code >= 0 && code <= 0xFF ->
+          Ok (Cello.of_code code)
+      | Some _ | None ->
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown circuit %S (try `glcv list`, or a code like 0x1C)"
+                 name)))
+
+(* ---- common options ---- *)
+
+let circuit_arg =
+  let parse s = find_circuit s in
+  let print ppf c = Format.pp_print_string ppf c.Circuit.name in
+  Arg.required
+    (Arg.pos 0
+       (Arg.some (Arg.conv (parse, print)))
+       None
+       (Arg.info [] ~docv:"CIRCUIT"
+          ~doc:"Benchmark circuit name (see $(b,glcv list)) or a \
+                truth-table code such as 0x1C."))
+
+let threshold_opt =
+  Arg.value
+    (Arg.opt Arg.float Protocol.default.Protocol.threshold
+       (Arg.info [ "threshold"; "t" ] ~docv:"MOLECULES"
+          ~doc:"Logic threshold; a logic-1 input is clamped to this \
+                amount (the paper's setup)."))
+
+let total_opt =
+  Arg.value
+    (Arg.opt Arg.float Protocol.default.Protocol.total_time
+       (Arg.info [ "total" ] ~docv:"TIME" ~doc:"Total simulation time."))
+
+let hold_opt =
+  Arg.value
+    (Arg.opt Arg.float Protocol.default.Protocol.hold_time
+       (Arg.info [ "hold" ] ~docv:"TIME"
+          ~doc:"Hold time per input combination (propagation delay)."))
+
+let seed_opt =
+  Arg.value
+    (Arg.opt Arg.int Protocol.default.Protocol.seed
+       (Arg.info [ "seed" ] ~docv:"INT" ~doc:"Random seed."))
+
+let fov_opt =
+  Arg.value
+    (Arg.opt Arg.float Analyzer.default_params.Analyzer.fov_ud
+       (Arg.info [ "fov" ] ~docv:"FRACTION"
+          ~doc:"FOV_UD: accepted fraction of output variation (eq. 1)."))
+
+let algorithm_opt =
+  let conv =
+    Arg.enum
+      [
+        ("direct", Glc_ssa.Sim.Direct);
+        ("next-reaction", Glc_ssa.Sim.Next_reaction);
+        ("tau-leap", Glc_ssa.Sim.Tau_leaping { epsilon = 0.03 });
+      ]
+  in
+  Arg.value
+    (Arg.opt conv Glc_ssa.Sim.Direct
+       (Arg.info [ "algorithm"; "a" ] ~docv:"ALGO"
+          ~doc:"SSA variant: $(b,direct), $(b,next-reaction) or \
+                $(b,tau-leap)."))
+
+let gray_opt =
+  Arg.value
+    (Arg.flag
+       (Arg.info [ "gray" ]
+          ~doc:"Sequence the input combinations in Gray-code order (one \
+                input changes per step) instead of counting order."))
+
+let protocol_term =
+  let make threshold total hold seed algorithm gray =
+    Protocol.make ~total_time:total ~hold_time:hold ~threshold ~seed
+      ~algorithm
+      ~order:(if gray then Protocol.Gray else Protocol.Counting)
+      ()
+  in
+  Term.(
+    const make $ threshold_opt $ total_opt $ hold_opt $ seed_opt
+    $ algorithm_opt $ gray_opt)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "%-14s %7s %6s %11s %9s@." "circuit" "inputs" "gates"
+      "components" "expected";
+    List.iter
+      (fun (name, inputs, gates, comps) ->
+        let c = Option.get (Benchmarks.find name) in
+        let code =
+          Format.asprintf "%a" Glc_logic.Truth_table.pp_code
+            c.Circuit.expected
+        in
+        Format.printf "%-14s %7d %6d %11d %9s@." name inputs gates comps
+          code)
+      (Benchmarks.summary ())
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the 15 benchmark circuits of the paper.")
+    Term.(const run $ const ())
+
+(* ---- synth ---- *)
+
+(* Builds a circuit from a Boolean expression over the sensor proteins
+   (LacI, TetR, AraC, IN4, ...); the number of inputs is the number of
+   distinct variables. *)
+let circuit_of_expression s =
+  match Glc_logic.Expr.of_string s with
+  | Error e -> Error (`Msg e)
+  | Ok expr -> (
+      let vars = Glc_logic.Expr.vars expr in
+      let n = List.length vars in
+      if n = 0 then Error (`Msg "the expression uses no variables")
+      else begin
+        let sensors = Glc_gates.Assembly.sensors n in
+        let missing =
+          List.filter (fun v -> not (Array.mem v sensors)) vars
+        in
+        if missing <> [] then
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown input protein(s) %s: a %d-variable expression \
+                  may use %s"
+                 (String.concat ", " missing)
+                 n
+                 (String.concat ", " (Array.to_list sensors))))
+        else begin
+          (* table bit i corresponds to sensor n-1-i (see Circuit docs) *)
+          let bit_names = Array.init n (fun i -> sensors.(n - 1 - i)) in
+          let tt = Glc_logic.Expr.to_truth_table ~inputs:bit_names expr in
+          match
+            Glc_gates.Assembly.synthesize
+              ~library:(Glc_gates.Repressor.extended 32)
+              ~name:(Printf.sprintf "expr_0x%02X" (Glc_logic.Truth_table.to_code tt))
+              tt
+          with
+          | c -> Ok c
+          | exception Invalid_argument m -> Error (`Msg m)
+        end
+      end)
+
+let synth_cmd =
+  let ( let* ) = Result.bind in
+  let run expr verilog dot circuit =
+    let* c =
+      match (expr, circuit) with
+      | Some s, None -> circuit_of_expression s
+      | None, Some (Ok c) -> Ok c
+      | None, Some (Error e) -> Error e
+      | None, None -> Error (`Msg "give a circuit, a code, or --expr")
+      | Some _, Some _ -> Error (`Msg "give either a circuit or --expr")
+    in
+    Format.printf "%a@.@.%a@." Glc_sbol.Document.pp c.Circuit.document
+      (Format.pp_print_list (fun ppf (prom, k) ->
+           Format.fprintf ppf "%s: ymax=%g ymin=%g K=%g n=%g" prom
+             k.Glc_sbol.To_model.ymax k.Glc_sbol.To_model.ymin
+             k.Glc_sbol.To_model.k k.Glc_sbol.To_model.n))
+      c.Circuit.promoter_kinetics;
+    (match dot with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Glc_sbol.Document.to_dot c.Circuit.document);
+        close_out oc;
+        Format.printf "@.wrote %s (render with dot -Tsvg)@." path
+    | None -> ());
+    (match verilog with
+    | Some path ->
+        let n = Circuit.arity c in
+        let sensors = Glc_gates.Assembly.sensors n in
+        let bit_names = Array.init n (fun i -> sensors.(n - 1 - i)) in
+        let nl =
+          Glc_logic.Netlist.of_truth_table ~inputs:bit_names
+            c.Circuit.expected
+        in
+        let oc = open_out path in
+        output_string oc
+          (Glc_logic.Netlist.to_verilog ~name:"genetic_circuit" nl);
+        close_out oc;
+        Format.printf "wrote %s@." path
+    | None -> ());
+    Ok ()
+  in
+  let expr_opt =
+    Arg.value
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "expr" ] ~docv:"EXPRESSION"
+            ~doc:"Synthesise from a Boolean expression over the sensor \
+                  proteins, e.g. \"LacI.TetR' + AraC\"."))
+  in
+  let verilog_opt =
+    Arg.value
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "verilog" ] ~docv:"FILE"
+            ~doc:"Also write the NOR netlist as structural Verilog."))
+  in
+  let dot_opt =
+    Arg.value
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "dot" ] ~docv:"FILE"
+            ~doc:"Also write the regulatory network as a Graphviz file."))
+  in
+  let circuit_opt =
+    let parse s = Ok (find_circuit s) in
+    let print ppf = function
+      | Ok c -> Format.pp_print_string ppf c.Circuit.name
+      | Error _ -> Format.pp_print_string ppf "?"
+    in
+    Arg.value
+      (Arg.pos 0
+         (Arg.some (Arg.conv (parse, print)))
+         None
+         (Arg.info [] ~docv:"CIRCUIT" ~doc:"Circuit name or code."))
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesise a circuit (from the benchmark set, a truth-table \
+             code, or a Boolean expression) and print its structural \
+             document.")
+    Term.(
+      term_result
+        (const run $ expr_opt $ verilog_opt $ dot_opt $ circuit_opt))
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let run protocol csv circuit =
+    let e = Experiment.run ~protocol circuit in
+    (match csv with
+    | Some path ->
+        Experiment.log_csv path e;
+        Format.printf "wrote %s@." path
+    | None ->
+        let tr = e.Experiment.trace in
+        Format.printf "simulated %s for %g t.u.; final amounts:@."
+          circuit.Circuit.name protocol.Protocol.total_time;
+        Array.iter
+          (fun id ->
+            let n = Glc_ssa.Trace.length tr in
+            Format.printf "  %-10s %8.1f@." id
+              (Glc_ssa.Trace.value tr id (n - 1)))
+          (Glc_ssa.Trace.names tr));
+    Ok ()
+  in
+  let csv_opt =
+    Arg.value
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "csv" ] ~docv:"FILE"
+            ~doc:"Write the full simulation log to a CSV file."))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a circuit through the virtual laboratory.")
+    Term.(term_result (const run $ protocol_term $ csv_opt $ circuit_arg))
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run protocol fov circuit =
+    let e = Experiment.run ~protocol circuit in
+    let params =
+      { Analyzer.threshold = protocol.Protocol.threshold; fov_ud = fov }
+    in
+    let r = Analyzer.of_experiment ~params e in
+    Format.printf "%a@."
+      (Report.pp_result ~output_name:circuit.Circuit.output)
+      r;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Extract the Boolean logic of a circuit from simulation \
+             (Algorithm 1 of the paper).")
+    Term.(term_result (const run $ protocol_term $ fov_opt $ circuit_arg))
+
+(* ---- verify ---- *)
+
+let verify_one protocol fov c =
+  let e = Experiment.run ~protocol c in
+  let params =
+    { Analyzer.threshold = protocol.Protocol.threshold; fov_ud = fov }
+  in
+  let r = Analyzer.of_experiment ~params e in
+  let v = Verify.against ~expected:c.Circuit.expected r in
+  (r, v)
+
+let verify_cmd =
+  let run protocol fov all circuit =
+    if all then begin
+      let failures = ref 0 in
+      List.iter
+        (fun c ->
+          let r, v = verify_one protocol fov c in
+          if not v.Verify.verified then incr failures;
+          Format.printf "%-14s %-8s fitness=%6.2f%%  %s = %a@."
+            c.Circuit.name
+            (if v.Verify.verified then "VERIFIED" else "WRONG")
+            r.Analyzer.fitness c.Circuit.output Glc_logic.Expr.pp
+            r.Analyzer.expr)
+        (Benchmarks.all ());
+      if !failures > 0 then
+        Error (`Msg (Printf.sprintf "%d circuit(s) not verified" !failures))
+      else Ok ()
+    end
+    else
+      match circuit with
+      | None -> Error (`Msg "give a circuit name or --all")
+      | Some (Error e) -> Error e
+      | Some (Ok c) ->
+          let r, v = verify_one protocol fov c in
+          Format.printf "%a@.%a@."
+            (Report.pp_result ~output_name:c.Circuit.output)
+            r Report.pp_verification v;
+          if v.Verify.verified then Ok ()
+          else begin
+            List.iter
+              (Format.printf "  %a@."
+                 (Verify.pp_finding ~arity:r.Analyzer.arity))
+              (Verify.diagnose r v);
+            Error (`Msg "not verified")
+          end
+  in
+  let all_opt =
+    Arg.value
+      (Arg.flag (Arg.info [ "all" ] ~doc:"Verify all benchmark circuits."))
+  in
+  let circuit_opt =
+    let parse s = Ok (find_circuit s) in
+    let print ppf = function
+      | Ok c -> Format.pp_print_string ppf c.Circuit.name
+      | Error _ -> Format.pp_print_string ppf "?"
+    in
+    Arg.value
+      (Arg.pos 0
+         (Arg.some (Arg.conv (parse, print)))
+         None
+         (Arg.info [] ~docv:"CIRCUIT" ~doc:"Circuit to verify."))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify extracted logic against the intended truth table.")
+    Term.(
+      term_result
+        (const run $ protocol_term $ fov_opt $ all_opt $ circuit_opt))
+
+(* ---- threshold ---- *)
+
+let threshold_cmd =
+  let run protocol circuit =
+    let est = Glc_dvasim.Threshold.estimate ~protocol circuit in
+    Format.printf "%a@." Glc_dvasim.Threshold.pp est;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "threshold"
+       ~doc:"Estimate the output logic threshold (D-VASim's threshold \
+             analysis).")
+    Term.(term_result (const run $ protocol_term $ circuit_arg))
+
+(* ---- delay ---- *)
+
+let delay_cmd =
+  let run protocol circuit =
+    match Glc_dvasim.Prop_delay.worst_case ~protocol circuit with
+    | Some m ->
+        Format.printf "%a@." Glc_dvasim.Prop_delay.pp m;
+        Ok ()
+    | None ->
+        Error (`Msg "no measurable output transition for this circuit")
+  in
+  Cmd.v
+    (Cmd.info "delay"
+       ~doc:"Measure the worst-case propagation delay (D-VASim's timing \
+             analysis).")
+    Term.(term_result (const run $ protocol_term $ circuit_arg))
+
+(* ---- export ---- *)
+
+let export_cmd =
+  let run dir =
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    List.iter
+      (fun c ->
+        let base = Filename.concat dir c.Circuit.name in
+        Glc_model.Sbml.write_file (base ^ ".sbml.xml") (Circuit.model c);
+        Glc_sbol.Sbol_xml.write_file (base ^ ".sbol.xml")
+          c.Circuit.document;
+        Format.printf "wrote %s.{sbml,sbol}.xml@." base)
+      (Benchmarks.all ());
+    Ok ()
+  in
+  let dir_opt =
+    Arg.value
+      (Arg.opt Arg.string "models"
+         (Arg.info [ "dir" ] ~docv:"DIR" ~doc:"Output directory."))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write SBML and SBOL files for all benchmark circuits.")
+    Term.(term_result (const run $ dir_opt))
+
+(* ---- vcd ---- *)
+
+let vcd_cmd =
+  let run protocol out circuit =
+    let e = Experiment.run ~protocol circuit in
+    Glc_core.Vcd.write_file ~threshold:protocol.Protocol.threshold out
+      e.Experiment.trace;
+    Format.printf "wrote %s (open with gtkwave)@." out;
+    Ok ()
+  in
+  let out_opt =
+    Arg.value
+      (Arg.opt Arg.string "circuit.vcd"
+         (Arg.info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output VCD file."))
+  in
+  Cmd.v
+    (Cmd.info "vcd"
+       ~doc:"Dump the digitised waveforms of an experiment as a VCD file \
+             for EDA waveform viewers.")
+    Term.(term_result (const run $ protocol_term $ out_opt $ circuit_arg))
+
+(* ---- probe ---- *)
+
+let probe_cmd =
+  let run protocol circuit =
+    let e = Experiment.run ~protocol circuit in
+    Format.printf "%-10s %-6s %s@." "species" "code" "extracted logic";
+    Array.iter
+      (fun species ->
+        if not (Array.mem species circuit.Circuit.inputs) then begin
+          let r =
+            Analyzer.run
+              ~params:
+                {
+                  Analyzer.threshold = protocol.Protocol.threshold;
+                  fov_ud = Analyzer.default_params.Analyzer.fov_ud;
+                }
+              {
+                Analyzer.trace = e.Experiment.trace;
+                inputs = circuit.Circuit.inputs;
+                output = species;
+              }
+          in
+          Format.printf "%-10s %-6s %a@." species
+            (Format.asprintf "%a" Glc_logic.Truth_table.pp_code
+               (Analyzer.extracted_table r))
+            Glc_logic.Expr.pp
+            (Analyzer.minimised_expr r)
+        end)
+      (Glc_ssa.Trace.names e.Experiment.trace);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:"Extract the logic of every internal species from one \
+             experiment (intermediate-component analysis).")
+    Term.(term_result (const run $ protocol_term $ circuit_arg))
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run total hold seed thresholds circuit =
+    Format.printf "%9s %-9s %8s %10s  %s@." "threshold" "verdict" "fitness"
+      "total-var" "extracted";
+    List.iter
+      (fun threshold ->
+        let protocol =
+          Protocol.make ~total_time:total ~hold_time:hold ~seed ~threshold
+            ()
+        in
+        let r, v = verify_one protocol 0.25 circuit in
+        let total_var =
+          Array.fold_left
+            (fun acc c -> acc + c.Analyzer.variations)
+            0 r.Analyzer.cases
+        in
+        Format.printf "%9g %-9s %7.2f%% %10d  %a@." threshold
+          (if v.Verify.verified then "verified" else "WRONG")
+          r.Analyzer.fitness total_var Glc_logic.Expr.pp r.Analyzer.expr)
+      thresholds;
+    Ok ()
+  in
+  let thresholds_opt =
+    Arg.value
+      (Arg.opt
+         (Arg.list Arg.float)
+         [ 3.; 8.; 15.; 25.; 40.; 60.; 80.; 90. ]
+         (Arg.info [ "thresholds" ] ~docv:"T1,T2,..."
+            ~doc:"Threshold values to sweep (the Fig. 5 study)."))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Analyse a circuit across threshold values (the paper's \
+             Fig. 5 robustness study).")
+    Term.(
+      term_result
+        (const run $ total_opt $ hold_opt $ seed_opt $ thresholds_opt
+        $ circuit_arg))
+
+(* ---- robustness ---- *)
+
+let robustness_cmd =
+  let run protocol trials spread circuit =
+    let points =
+      Glc_core.Robustness.threshold_window ~protocol circuit
+    in
+    Format.printf "%9s %-9s %8s %10s@." "threshold" "verdict" "fitness"
+      "total-var";
+    List.iter
+      (fun p ->
+        Format.printf "%9g %-9s %7.2f%% %10d@."
+          p.Glc_core.Robustness.w_threshold
+          (if p.Glc_core.Robustness.w_verified then "verified" else "WRONG")
+          p.Glc_core.Robustness.w_fitness
+          p.Glc_core.Robustness.w_variations)
+      points;
+    (match Glc_core.Robustness.operating_range points with
+    | Some (lo, hi) ->
+        Format.printf "@.operating window: %g .. %g molecules@." lo hi
+    | None -> Format.printf "@.no verified operating point@.");
+    let y =
+      Glc_core.Robustness.parametric_yield ~protocol ~trials ~spread
+        circuit
+    in
+    Format.printf "parametric yield (spread %.0f%%): %a@." (spread *. 100.)
+      Glc_core.Robustness.pp_yield y;
+    Ok ()
+  in
+  let trials_opt =
+    Arg.value
+      (Arg.opt Arg.int 20
+         (Arg.info [ "trials" ] ~docv:"N"
+            ~doc:"Monte-Carlo trials for the parametric yield."))
+  in
+  let spread_opt =
+    Arg.value
+      (Arg.opt Arg.float 0.2
+         (Arg.info [ "spread" ] ~docv:"SIGMA"
+            ~doc:"Log-normal spread of the part parameters."))
+  in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:"Threshold operating window and Monte-Carlo parametric yield \
+             of a circuit.")
+    Term.(
+      term_result
+        (const run $ protocol_term $ trials_opt $ spread_opt $ circuit_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "glcv" ~version:"1.0.0"
+       ~doc:"Logic analysis and verification of n-input genetic logic \
+             circuits (Baig & Madsen, DATE 2017).")
+    [
+      list_cmd; synth_cmd; simulate_cmd; analyze_cmd; verify_cmd;
+      threshold_cmd; delay_cmd; export_cmd; vcd_cmd; probe_cmd; sweep_cmd;
+      robustness_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cello_flow.ml: Filename Format Glc_core Glc_dvasim Glc_gates Glc_logic Glc_model Glc_sbol List Sys

@@ -1,0 +1,1 @@
+examples/cello_flow.mli:

@@ -1,0 +1,1 @@
+examples/interactive_lab.ml: Glc_dvasim Glc_gates Glc_ssa Printf

@@ -1,0 +1,1 @@
+examples/intermediate_signals.ml: Array Format Glc_core Glc_dvasim Glc_gates Glc_logic Glc_ssa

@@ -1,0 +1,1 @@
+examples/intermediate_signals.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Glc_core Glc_dvasim Glc_gates Glc_sbol

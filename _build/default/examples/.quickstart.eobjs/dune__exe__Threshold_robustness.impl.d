@@ -1,0 +1,1 @@
+examples/threshold_robustness.ml: Array Format Glc_core Glc_dvasim Glc_gates Glc_logic List

@@ -1,0 +1,1 @@
+examples/unknown_circuit.ml: Format Glc_core Glc_dvasim Glc_gates Glc_logic Glc_model List

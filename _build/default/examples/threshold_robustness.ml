@@ -1,0 +1,69 @@
+(* Threshold robustness study (the paper's Fig. 5).
+
+   The same circuit behaves differently when the threshold value — and
+   with it the amount of molecules applied as a logic-1 input — is set
+   very low or very high. The paper demonstrates this on circuit 0x0B
+   with thresholds 3 and 40; here we sweep the whole range and also show
+   D-VASim's automatic threshold estimation, which places the threshold
+   between the two output populations.
+
+   Run with: dune exec examples/threshold_robustness.exe *)
+
+module Cello = Glc_gates.Cello
+module Circuit = Glc_gates.Circuit
+module Protocol = Glc_dvasim.Protocol
+module Experiment = Glc_dvasim.Experiment
+module Threshold = Glc_dvasim.Threshold
+module Analyzer = Glc_core.Analyzer
+module Verify = Glc_core.Verify
+
+let () =
+  let circuit = Cello.circuit_0x0B () in
+  let expected_expr =
+    match Glc_logic.Truth_table.minterms circuit.Circuit.expected with
+    | [] -> Glc_logic.Expr.False
+    | [ m ] -> Analyzer.product_of_row ~inputs:circuit.Circuit.inputs m
+    | ms ->
+        Glc_logic.Expr.Or
+          (List.map
+             (Analyzer.product_of_row ~inputs:circuit.Circuit.inputs)
+             ms)
+  in
+  Format.printf "Circuit 0x0B, expected %s = %a@.@." circuit.Circuit.output
+    Glc_logic.Expr.pp expected_expr;
+
+  Format.printf "%9s %-9s %8s %10s  %s@." "threshold" "verdict" "fitness"
+    "total-var" "extracted expression";
+  List.iter
+    (fun threshold ->
+      let protocol = Protocol.with_threshold Protocol.default threshold in
+      let e = Experiment.run ~protocol circuit in
+      let result, verification = Verify.experiment e in
+      let total_var =
+        Array.fold_left
+          (fun acc c -> acc + c.Analyzer.variations)
+          0 result.Analyzer.cases
+      in
+      Format.printf "%9g %-9s %7.2f%% %10d  %s@." threshold
+        (if verification.Verify.verified then "verified" else "WRONG")
+        result.Analyzer.fitness total_var
+        (Glc_logic.Expr.to_string result.Analyzer.expr))
+    [ 3.; 8.; 15.; 25.; 40.; 60.; 80.; 90. ];
+
+  (* D-VASim's threshold analysis recovers a sensible operating point
+     from the simulation itself. *)
+  let estimate = Threshold.estimate circuit in
+  Format.printf "@.Estimated from simulation: %a@." Threshold.pp estimate;
+
+  (* The packaged robustness study: operating window plus Monte-Carlo
+     yield under part-to-part parameter variation. *)
+  let window = Glc_core.Robustness.threshold_window circuit in
+  (match Glc_core.Robustness.operating_range window with
+  | Some (lo, hi) ->
+      Format.printf "Verified operating window: %g .. %g molecules@." lo hi
+  | None -> Format.printf "No verified operating point!@.");
+  let y =
+    Glc_core.Robustness.parametric_yield ~trials:10 ~spread:0.2 circuit
+  in
+  Format.printf "Under 20%% part variation: %a@." Glc_core.Robustness.pp_yield
+    y

@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Array Buffer Digital Glc_dvasim Glc_gates Glc_logic Glc_ssa Int List Printf String

@@ -1,0 +1,1 @@
+lib/core/analyzer.mli: Glc_dvasim Glc_logic Glc_ssa

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Analyzer Array Digital Fun Glc_logic List

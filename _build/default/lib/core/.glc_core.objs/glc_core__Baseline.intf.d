@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Analyzer Glc_logic

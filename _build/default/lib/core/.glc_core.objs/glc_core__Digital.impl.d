@@ -1,0 +1,1 @@
+lib/core/digital.ml: Array Glc_ssa Stdlib

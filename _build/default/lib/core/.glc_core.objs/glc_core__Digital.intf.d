@@ -1,0 +1,1 @@
+lib/core/digital.mli: Glc_ssa

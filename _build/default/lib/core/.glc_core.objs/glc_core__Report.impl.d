@@ -1,0 +1,1 @@
+lib/core/report.ml: Analyzer Array Format Glc_logic List Verify

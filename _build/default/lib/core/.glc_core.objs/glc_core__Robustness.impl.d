@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Analyzer Array Float Format Glc_dvasim Glc_gates Glc_sbol Glc_ssa List Verify

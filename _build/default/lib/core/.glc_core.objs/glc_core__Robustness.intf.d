@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Format Glc_dvasim Glc_gates

@@ -1,0 +1,1 @@
+lib/core/vcd.ml: Array Buffer Char Digital Fun Glc_ssa Printf String

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Analyzer Array Format Fun Glc_dvasim Glc_gates Glc_logic List String

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Analyzer Format Glc_dvasim Glc_logic

@@ -1,0 +1,92 @@
+(** Algorithm 1 of the paper: logic analysis and verification of n-input
+    genetic logic circuits from stochastic simulation data.
+
+    Pipeline (named as in the paper):
+    {ol
+    {- {b ADC} — digitise the selected input and output species with the
+       threshold value;}
+    {- {b CaseAnalyzer} — split the output bit stream by the input
+       combination applied at each sample, giving per-combination output
+       streams and their lengths [Case_I];}
+    {- {b VariationAnalyzer} — per combination, count the logic-1 samples
+       [HIGH_O] and the 0↔1 transitions [O_Var];}
+    {- {b ConstBoolExpr} — keep a combination as a minterm iff both
+       filters pass:
+       eq. (1) [FOV_EST = O_Var / Case_I < FOV_UD] (stability) and
+       eq. (2) [HIGH_O > Case_I / 2] (majority);}
+    {- {b PFoBE} — eq. (3):
+       [100 - (sum of FOV_EST over kept combinations / nc) * 100].}}
+
+    Input combinations are numbered as in {!Glc_gates.Circuit}: input
+    [I1] (first in the [inputs] array) is the most significant bit. *)
+
+module Trace := Glc_ssa.Trace
+module Expr := Glc_logic.Expr
+module Truth_table := Glc_logic.Truth_table
+module Experiment := Glc_dvasim.Experiment
+
+type params = {
+  threshold : float;  (** ThVAL: logic threshold, molecules *)
+  fov_ud : float;  (** FOV_UD: accepted fraction of output variation *)
+}
+
+val default_params : params
+(** The paper's values: threshold 15 molecules, [fov_ud = 0.25]. *)
+
+type data = {
+  trace : Trace.t;  (** SDAn: logged simulation data of all I/O species *)
+  inputs : string array;  (** IS: input species, [I1] first *)
+  output : string;  (** OS: output species *)
+}
+
+type case_stats = {
+  row : int;  (** the input combination *)
+  case_count : int;  (** Case_I *)
+  high_count : int;  (** HIGH_O *)
+  variations : int;  (** O_Var *)
+  fov_est : float;  (** eq. (1); 0 when the combination never occurs *)
+  passes_fov : bool;
+  passes_majority : bool;
+  included : bool;  (** minterm of the extracted expression *)
+}
+
+type result = {
+  arity : int;
+  inputs : string array;  (** the analysed input species, [I1] first *)
+  params : params;
+  cases : case_stats array;  (** indexed by combination *)
+  minterms : int list;
+  expr : Expr.t;  (** extracted Boolean expression over the input names *)
+  fitness : float;  (** PFoBE, percent *)
+}
+
+val case_streams :
+  ?smooth_window:int -> threshold:float -> data -> bool array array
+(** The CaseAnalyzer sub-procedure alone: the digitised output stream of
+    each input combination (empty for combinations that never occur).
+    [smooth_window] applies {!Digital.majority_smooth} to the digitised
+    output before splitting (off by default — the paper's filters handle
+    glitches statistically; smoothing is the ablation alternative).
+    @raise Invalid_argument if [data] names species missing from the
+    trace or has no inputs. *)
+
+val run : ?params:params -> ?smooth_window:int -> data -> result
+(** The full algorithm.
+    @raise Invalid_argument as for {!case_streams}. *)
+
+val of_experiment :
+  ?params:params -> Experiment.t -> result
+(** Analyses a virtual-laboratory experiment, defaulting the threshold to
+    the experiment protocol's and the inputs/output to the circuit's. *)
+
+val extracted_table : result -> Truth_table.t
+(** The extracted logic as a truth table (rows = combinations). *)
+
+val minimised_expr : result -> Expr.t
+(** The extracted logic as a Quine–McCluskey-minimised sum of products
+    (the [expr] field is the canonical minterm form, as the paper prints
+    it). Literals keep the input display order. *)
+
+val product_of_row : inputs:string array -> int -> Expr.t
+(** The paper-style minterm product for a combination, literals in input
+    order (e.g. combination [011] of [I1 I2 I3] gives [I1'.I2.I3]). *)

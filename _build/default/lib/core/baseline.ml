@@ -1,0 +1,97 @@
+module Truth_table = Glc_logic.Truth_table
+
+type extraction = {
+  b_name : string;
+  b_minterms : int list;
+  b_table : Truth_table.t;
+}
+
+let make ~name ~arity minterms =
+  {
+    b_name = name;
+    b_minterms = minterms;
+    b_table = Truth_table.of_minterms ~arity minterms;
+  }
+
+let majority_only ~threshold (data : Analyzer.data) =
+  let streams = Analyzer.case_streams ~threshold data in
+  let minterms =
+    List.concat
+      (List.mapi
+         (fun row stream ->
+           let case = Array.length stream in
+           if case > 0 && 2 * Digital.count_high stream > case then [ row ]
+           else [])
+         (Array.to_list streams))
+  in
+  make ~name:"majority only (eq. 2)"
+    ~arity:(Array.length data.Analyzer.inputs)
+    minterms
+
+let stability_only ~threshold ~fov_ud (data : Analyzer.data) =
+  let streams = Analyzer.case_streams ~threshold data in
+  let minterms =
+    List.concat
+      (List.mapi
+         (fun row stream ->
+           let case = Array.length stream in
+           if case = 0 then []
+           else begin
+             let fov =
+               float_of_int (Digital.count_variations stream)
+               /. float_of_int case
+             in
+             if Digital.count_high stream > 0 && fov < fov_ud then [ row ]
+             else []
+           end)
+         (Array.to_list streams))
+  in
+  make ~name:"stability only (eq. 1)"
+    ~arity:(Array.length data.Analyzer.inputs)
+    minterms
+
+(* Reads the output once per hold slot: the sample just before the
+   applied combination changes (and the final sample of the run). *)
+let endpoint_sampling ~threshold (data : Analyzer.data) =
+  let inputs = data.Analyzer.inputs in
+  let n = Array.length inputs in
+  let digital_inputs =
+    Array.map
+      (fun id -> Digital.of_trace ~threshold data.Analyzer.trace id)
+      inputs
+  in
+  let digital_output =
+    Digital.of_trace ~threshold data.Analyzer.trace data.Analyzer.output
+  in
+  let samples = Array.length digital_output in
+  let row_at k =
+    let row = ref 0 in
+    for j = 0 to n - 1 do
+      row := (!row lsl 1) lor (if digital_inputs.(j).(k) then 1 else 0)
+    done;
+    !row
+  in
+  let nc = 1 lsl n in
+  let highs = Array.make nc 0 and reads = Array.make nc 0 in
+  for k = 0 to samples - 1 do
+    let block_ends = k = samples - 1 || row_at (k + 1) <> row_at k in
+    if block_ends then begin
+      let row = row_at k in
+      reads.(row) <- reads.(row) + 1;
+      if digital_output.(k) then highs.(row) <- highs.(row) + 1
+    end
+  done;
+  let minterms =
+    List.filter
+      (fun row -> reads.(row) > 0 && 2 * highs.(row) > reads.(row))
+      (List.init nc Fun.id)
+  in
+  make ~name:"endpoint sampling" ~arity:n minterms
+
+let full ?params (data : Analyzer.data) =
+  let r = Analyzer.run ?params data in
+  make ~name:"Algorithm 1 (both filters)" ~arity:r.Analyzer.arity
+    r.Analyzer.minterms
+
+let wrong_states ~expected e =
+  Truth_table.hamming_distance expected e.b_table

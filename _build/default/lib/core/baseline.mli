@@ -1,0 +1,42 @@
+(** Baseline logic-extraction strategies.
+
+    The paper's contribution is the {e pair} of filters in Algorithm 1;
+    its running examples (the XNOR trap of Fig. 2, the oscillation case
+    of Fig. 3, the decay tail of Fig. 4) are exactly the inputs on which
+    simpler strategies go wrong. These baselines make that comparison
+    quantitative — `bench/main.exe baselines` runs all of them against
+    the full algorithm.
+
+    All three reuse the CaseAnalyzer front end (digitisation and
+    per-combination streams) and differ only in the decision rule. *)
+
+module Truth_table := Glc_logic.Truth_table
+
+type extraction = {
+  b_name : string;
+  b_minterms : int list;
+  b_table : Truth_table.t;
+}
+
+val majority_only : threshold:float -> Analyzer.data -> extraction
+(** Eq. (2) alone: a combination is a minterm when more than half of its
+    output samples are logic-1. Blind to oscillation (accepts the Fig. 3
+    unstable stream). *)
+
+val stability_only :
+  threshold:float -> fov_ud:float -> Analyzer.data -> extraction
+(** Eq. (1) alone: a combination is a minterm when its output stream is
+    stable and contains at least one logic-1. Falls into the paper's
+    Fig. 2 XNOR trap (a short stable glitch becomes a minterm). *)
+
+val endpoint_sampling : threshold:float -> Analyzer.data -> extraction
+(** The electronic-testbench habit: read the output once at the end of
+    each hold slot and take the majority over a combination's slots.
+    Ignores everything between samples, so decaying or oscillating
+    outputs are mis-read. *)
+
+val full : ?params:Analyzer.params -> Analyzer.data -> extraction
+(** Algorithm 1, packaged as an {!extraction} for uniform comparison. *)
+
+val wrong_states : expected:Truth_table.t -> extraction -> int
+(** Combinations on which the extraction disagrees with the intent. *)

@@ -1,0 +1,29 @@
+(** Analog-to-digital conversion of species traces (sub-procedure ADC of
+    Algorithm 1).
+
+    The threshold value "categorizes the analog concentrations into
+    digital logics 0 and 1": a sample is logic-1 when the amount is at
+    least the threshold. *)
+
+val of_samples : threshold:float -> float array -> bool array
+(** Digitise one species' sampled series.
+    @raise Invalid_argument if [threshold <= 0]. *)
+
+val of_trace :
+  threshold:float -> Glc_ssa.Trace.t -> string -> bool array
+(** Digitise one recorded species.
+    @raise Not_found if the species was not recorded. *)
+
+val count_high : bool array -> int
+(** Number of logic-1 samples ([HIGH_O] of eq. 2). *)
+
+val count_variations : bool array -> int
+(** Number of 0-to-1 and 1-to-0 transitions ([O_Var] of eq. 1). *)
+
+val majority_smooth : window:int -> bool array -> bool array
+(** Sliding-window majority vote: sample [k] becomes the majority value
+    of the window centred on it (truncated at the edges). Removes
+    glitches shorter than half the window — the "unwanted high peaks"
+    the paper describes — while leaving genuine levels untouched.
+    [window] must be odd and positive; a window of 1 is the identity.
+    @raise Invalid_argument otherwise. *)

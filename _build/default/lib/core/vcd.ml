@@ -1,0 +1,61 @@
+module Trace = Glc_ssa.Trace
+
+let of_trace ?species ~threshold tr =
+  let names =
+    match species with
+    | Some l -> Array.of_list l
+    | None -> Trace.names tr
+  in
+  if Array.length names > 94 then
+    invalid_arg "Vcd.of_trace: more than 94 species";
+  let bits =
+    Array.map (fun id -> Digital.of_trace ~threshold tr id) names
+  in
+  let ident i = String.make 1 (Char.chr (Char.code '!' + i)) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$comment digitised genetic circuit trace $end\n";
+  Buffer.add_string buf
+    (Printf.sprintf "$comment logic threshold %g molecules $end\n" threshold);
+  Buffer.add_string buf "$timescale 1 us $end\n";
+  Buffer.add_string buf "$scope module circuit $end\n";
+  Array.iteri
+    (fun i name ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s %s $end\n" (ident i) name))
+    names;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let samples = Trace.length tr in
+  if samples > 0 then begin
+    Buffer.add_string buf "$dumpvars\n";
+    Array.iteri
+      (fun i stream ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d%s\n" (if stream.(0) then 1 else 0) (ident i)))
+      bits;
+    Buffer.add_string buf "$end\n";
+    for k = 1 to samples - 1 do
+      let changed = ref false in
+      let pending = Buffer.create 32 in
+      Array.iteri
+        (fun i stream ->
+          if stream.(k) <> stream.(k - 1) then begin
+            changed := true;
+            Buffer.add_string pending
+              (Printf.sprintf "%d%s\n"
+                 (if stream.(k) then 1 else 0)
+                 (ident i))
+          end)
+        bits;
+      if !changed then begin
+        Buffer.add_string buf (Printf.sprintf "#%d\n" k);
+        Buffer.add_buffer buf pending
+      end
+    done
+  end;
+  Buffer.contents buf
+
+let write_file ?species ~threshold path tr =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_trace ?species ~threshold tr))

@@ -1,0 +1,20 @@
+(** Value-change-dump (VCD) export of digitised traces.
+
+    The logical abstraction the paper applies to genetic signals is the
+    same one electronic design tools use, so the digitised I/O streams
+    can be inspected in any EDA waveform viewer (GTKWave etc.). One VCD
+    wire per selected species, one timestep per trace sample. *)
+
+module Trace := Glc_ssa.Trace
+
+val of_trace :
+  ?species:string list -> threshold:float -> Trace.t -> string
+(** [of_trace ~threshold tr] renders the digitised waveforms of the
+    selected species (default: all recorded species) as a VCD document.
+    The timescale maps one trace sample to 1 time unit.
+    @raise Not_found if a selected species was not recorded.
+    @raise Invalid_argument if more than 94 species are selected (VCD
+    short identifiers) or the threshold is not positive. *)
+
+val write_file :
+  ?species:string list -> threshold:float -> string -> Trace.t -> unit

@@ -1,0 +1,81 @@
+module Truth_table = Glc_logic.Truth_table
+module Experiment = Glc_dvasim.Experiment
+module Circuit = Glc_gates.Circuit
+
+type report = {
+  expected : Truth_table.t;
+  extracted : Truth_table.t;
+  wrong_states : int list;
+  verified : bool;
+  fitness : float;
+}
+
+let against ~expected (r : Analyzer.result) =
+  if Truth_table.arity expected <> r.Analyzer.arity then
+    invalid_arg "Verify.against: arity mismatch";
+  let extracted = Analyzer.extracted_table r in
+  let wrong_states =
+    List.filter
+      (fun row -> Truth_table.output expected row <> Truth_table.output extracted row)
+      (List.init (Truth_table.rows expected) Fun.id)
+  in
+  {
+    expected;
+    extracted;
+    wrong_states;
+    verified = wrong_states = [];
+    fitness = r.Analyzer.fitness;
+  }
+
+let experiment ?params (e : Experiment.t) =
+  let r = Analyzer.of_experiment ?params e in
+  (r, against ~expected:e.Experiment.circuit.Circuit.expected r)
+
+type cause = Unobserved | Unstable_output | Weak_output | Unexpected_high
+
+type finding = { f_row : int; f_cause : cause }
+
+let diagnose (r : Analyzer.result) report =
+  if Truth_table.arity report.expected <> r.Analyzer.arity then
+    invalid_arg "Verify.diagnose: arity mismatch";
+  List.map
+    (fun row ->
+      let c = r.Analyzer.cases.(row) in
+      let cause =
+        if Truth_table.output report.expected row then
+          (* expected high, extracted low *)
+          if c.Analyzer.case_count = 0 then Unobserved
+          else if not c.Analyzer.passes_fov then Unstable_output
+          else Weak_output
+        else Unexpected_high
+      in
+      { f_row = row; f_cause = cause })
+    report.wrong_states
+
+let combination_string ~arity row =
+  String.init arity (fun j ->
+      if (row lsr (arity - 1 - j)) land 1 = 1 then '1' else '0')
+
+let pp_finding ~arity ppf f =
+  let combination = combination_string ~arity f.f_row in
+  match f.f_cause with
+  | Unobserved ->
+      Format.fprintf ppf
+        "%s: never applied during the run — lengthen the simulation so \
+         every combination gets a slot"
+        combination
+  | Unstable_output ->
+      Format.fprintf ppf
+        "%s: output oscillates around the threshold (rejected by eq. 1) \
+         — adjust the threshold or the gate's noise margins"
+        combination
+  | Weak_output ->
+      Format.fprintf ppf
+        "%s: output mostly below threshold (rejected by eq. 2), \
+         typically a stale or slow transition — lengthen the hold time"
+        combination
+  | Unexpected_high ->
+      Format.fprintf ppf
+        "%s: stable logic-1 where the intent says 0 — the circuit \
+         computes a different function at this operating point"
+        combination

@@ -1,0 +1,1 @@
+lib/dvasim/experiment.ml: Array Glc_gates Glc_ssa Protocol

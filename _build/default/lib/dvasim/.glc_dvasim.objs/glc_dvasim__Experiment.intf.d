@@ -1,0 +1,1 @@
+lib/dvasim/experiment.mli: Glc_gates Glc_model Glc_ssa Protocol

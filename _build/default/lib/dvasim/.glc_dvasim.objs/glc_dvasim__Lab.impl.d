@@ -1,0 +1,1 @@
+lib/dvasim/lab.ml: Array Float Glc_ssa List

@@ -1,0 +1,1 @@
+lib/dvasim/lab.mli: Glc_model Glc_ssa

@@ -1,0 +1,1 @@
+lib/dvasim/prop_delay.ml: Array Float Format Glc_gates Glc_logic Glc_ssa List Protocol

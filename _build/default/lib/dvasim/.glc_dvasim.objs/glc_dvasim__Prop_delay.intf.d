@@ -1,0 +1,1 @@
+lib/dvasim/prop_delay.mli: Format Glc_gates Protocol

@@ -1,0 +1,1 @@
+lib/dvasim/protocol.ml: Float Glc_ssa

@@ -1,0 +1,1 @@
+lib/dvasim/protocol.mli: Glc_ssa

@@ -1,0 +1,1 @@
+lib/dvasim/threshold.ml: Array Experiment Float Format Glc_gates Glc_ssa Protocol

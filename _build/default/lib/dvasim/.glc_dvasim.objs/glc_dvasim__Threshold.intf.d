@@ -1,0 +1,1 @@
+lib/dvasim/threshold.mli: Format Glc_gates Protocol

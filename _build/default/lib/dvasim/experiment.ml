@@ -1,0 +1,53 @@
+module Trace = Glc_ssa.Trace
+module Events = Glc_ssa.Events
+module Sim = Glc_ssa.Sim
+module Circuit = Glc_gates.Circuit
+
+type t = {
+  circuit : Circuit.t;
+  protocol : Protocol.t;
+  trace : Trace.t;
+}
+
+let stimulus (p : Protocol.t) ~inputs =
+  let arity = Array.length inputs in
+  let events = ref [] in
+  for slot = 0 to Protocol.slots p - 1 do
+    let t = float_of_int slot *. p.hold_time in
+    let row = Protocol.row_of_slot p ~arity slot in
+    Array.iteri
+      (fun j species ->
+        let v =
+          if (row lsr (arity - 1 - j)) land 1 = 1 then p.input_high
+          else p.input_low
+        in
+        events := Events.set t species v :: !events)
+      inputs
+  done;
+  Events.of_list !events
+
+let input_schedule (p : Protocol.t) (circuit : Circuit.t) =
+  stimulus p ~inputs:circuit.Circuit.inputs
+
+let run_trace ~protocol ~inputs model =
+  let events = stimulus protocol ~inputs in
+  let cfg =
+    Sim.config ~dt:protocol.Protocol.dt ~seed:protocol.Protocol.seed
+      ~algorithm:protocol.Protocol.algorithm
+      ~t_end:protocol.Protocol.total_time ()
+  in
+  Sim.run ~events cfg model
+
+let run_model ~protocol ~circuit model =
+  let trace =
+    run_trace ~protocol ~inputs:circuit.Circuit.inputs model
+  in
+  { circuit; protocol; trace }
+
+let run ?(protocol = Protocol.default) circuit =
+  run_model ~protocol ~circuit (Circuit.model circuit)
+
+let applied_row e t =
+  Protocol.row_at e.protocol ~arity:(Circuit.arity e.circuit) t
+
+let log_csv path e = Trace.write_csv path e.trace

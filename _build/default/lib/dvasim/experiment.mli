@@ -1,0 +1,48 @@
+(** Running a circuit through the virtual laboratory.
+
+    Generates the input stimulus schedule (every combination in counting
+    order, each held for the propagation delay), simulates the kinetic
+    model with the SSA, and logs all I/O species — the "SDAn" simulation
+    data that Algorithm 1 of the paper consumes. *)
+
+module Trace := Glc_ssa.Trace
+module Events := Glc_ssa.Events
+module Circuit := Glc_gates.Circuit
+module Model := Glc_model.Model
+
+type t = {
+  circuit : Circuit.t;
+  protocol : Protocol.t;
+  trace : Trace.t;  (** all species, sampled every [protocol.dt] *)
+}
+
+val stimulus : Protocol.t -> inputs:string array -> Events.schedule
+(** The stimulus events the lab applies: at each slot boundary, every
+    input species is clamped to [input_high] or [input_low] according to
+    the slot's input combination (input 0 of the array is the most
+    significant bit of the combination). *)
+
+val input_schedule : Protocol.t -> Circuit.t -> Events.schedule
+(** {!stimulus} over the circuit's sensor proteins. *)
+
+val run : ?protocol:Protocol.t -> Circuit.t -> t
+(** Simulates with {!Protocol.default} unless overridden. *)
+
+val run_model :
+  protocol:Protocol.t -> circuit:Circuit.t -> Model.t -> t
+(** Like {!run} but with a caller-supplied kinetic model (used to inject
+    parameter variations while keeping the circuit's metadata). *)
+
+val run_trace :
+  protocol:Protocol.t -> inputs:string array -> Model.t -> Trace.t
+(** Circuit-free entry point: drives the named input species of an
+    arbitrary kinetic model through all combinations and returns the
+    logged trace — how an unknown SBML model is explored before its logic
+    is known. *)
+
+val applied_row : t -> float -> int
+(** The input combination the lab was applying at a given time. *)
+
+val log_csv : string -> t -> unit
+(** Writes the logged simulation data to a CSV file, one row per sample —
+    the equivalent of D-VASim's experiment log. *)

@@ -1,0 +1,73 @@
+module Trace = Glc_ssa.Trace
+module Circuit = Glc_gates.Circuit
+
+type estimate = {
+  low_level : float;
+  high_level : float;
+  threshold : float;
+  separation : float;
+}
+
+let two_means samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Threshold.two_means: empty";
+  let lo = Array.fold_left Float.min infinity samples in
+  let hi = Array.fold_left Float.max neg_infinity samples in
+  if lo = hi then (lo, hi)
+  else begin
+    let c1 = ref lo and c2 = ref hi in
+    let stable = ref false in
+    let iterations = ref 0 in
+    while (not !stable) && !iterations < 100 do
+      incr iterations;
+      let s1 = ref 0. and n1 = ref 0 and s2 = ref 0. and n2 = ref 0 in
+      Array.iter
+        (fun x ->
+          if Float.abs (x -. !c1) <= Float.abs (x -. !c2) then begin
+            s1 := !s1 +. x;
+            incr n1
+          end
+          else begin
+            s2 := !s2 +. x;
+            incr n2
+          end)
+        samples;
+      let c1' = if !n1 = 0 then !c1 else !s1 /. float_of_int !n1 in
+      let c2' = if !n2 = 0 then !c2 else !s2 /. float_of_int !n2 in
+      stable := Float.abs (c1' -. !c1) < 1e-9 && Float.abs (c2' -. !c2) < 1e-9;
+      c1 := c1';
+      c2 := c2'
+    done;
+    if !c1 <= !c2 then (!c1, !c2) else (!c2, !c1)
+  end
+
+let estimate ?(protocol = Protocol.default) ?(settle_fraction = 0.5) circuit =
+  if settle_fraction <= 0. || settle_fraction > 1. then
+    invalid_arg "Threshold.estimate: settle_fraction not in (0, 1]";
+  let e = Experiment.run ~protocol circuit in
+  let output = Trace.column e.Experiment.trace circuit.Circuit.output in
+  let dt = protocol.Protocol.dt in
+  let samples_per_slot = int_of_float (protocol.Protocol.hold_time /. dt) in
+  let settled = ref [] in
+  Array.iteri
+    (fun k v ->
+      let pos_in_slot = k mod samples_per_slot in
+      let cutoff =
+        int_of_float
+          ((1. -. settle_fraction) *. float_of_int samples_per_slot)
+      in
+      if pos_in_slot >= cutoff then settled := v :: !settled)
+    output;
+  let samples = Array.of_list !settled in
+  let low_level, high_level = two_means samples in
+  {
+    low_level;
+    high_level;
+    threshold = (low_level +. high_level) /. 2.;
+    separation = high_level /. Float.max low_level 1.;
+  }
+
+let pp ppf e =
+  Format.fprintf ppf
+    "low %.1f / high %.1f molecules; threshold %.1f (separation %.1fx)"
+    e.low_level e.high_level e.threshold e.separation

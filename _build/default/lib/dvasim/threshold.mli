@@ -1,0 +1,31 @@
+(** Threshold-value analysis (Baig & Madsen, IWBDA 2016).
+
+    D-VASim estimates the logic threshold of a circuit's output species
+    from simulation: the output levels reached under the different input
+    combinations form two populations (logic-low and logic-high), and the
+    threshold is placed between them. Here the populations are separated
+    with a 1-D 2-means clustering of the settled output levels, which
+    needs no prior knowledge of the circuit's function. *)
+
+module Circuit := Glc_gates.Circuit
+
+type estimate = {
+  low_level : float;  (** centre of the logic-low population *)
+  high_level : float;  (** centre of the logic-high population *)
+  threshold : float;  (** midpoint of the two centres *)
+  separation : float;
+      (** [high_level / max low_level 1.] — a robustness indicator; the
+          circuit is unlikely to work when this is close to 1 *)
+}
+
+val two_means : float array -> float * float
+(** 1-D 2-means clustering; returns the two centres, smaller first.
+    @raise Invalid_argument on an empty array. *)
+
+val estimate :
+  ?protocol:Protocol.t -> ?settle_fraction:float -> Circuit.t -> estimate
+(** Runs the input sweep and clusters the settled output samples (the
+    last [settle_fraction] of each hold slot, default 0.5; the first part
+    of a slot is discarded as transient). *)
+
+val pp : Format.formatter -> estimate -> unit

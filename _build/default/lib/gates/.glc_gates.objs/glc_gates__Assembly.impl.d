@@ -1,0 +1,1 @@
+lib/gates/assembly.ml: Array Circuit Glc_logic Glc_sbol Hashtbl List Printf Repressor String

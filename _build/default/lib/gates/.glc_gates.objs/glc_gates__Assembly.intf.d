@@ -1,0 +1,1 @@
+lib/gates/assembly.mli: Circuit Glc_logic Repressor

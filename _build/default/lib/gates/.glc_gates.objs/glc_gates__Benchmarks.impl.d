@@ -1,0 +1,1 @@
+lib/gates/benchmarks.ml: Cello Circuit Circuits List String

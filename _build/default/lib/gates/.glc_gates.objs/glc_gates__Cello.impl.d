@@ -1,0 +1,1 @@
+lib/gates/cello.ml: Assembly Glc_logic List Printf

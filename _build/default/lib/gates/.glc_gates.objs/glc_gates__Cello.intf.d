@@ -1,0 +1,1 @@
+lib/gates/cello.mli: Circuit

@@ -1,0 +1,1 @@
+lib/gates/circuit.ml: Array Format Glc_logic Glc_sbol List Printf String

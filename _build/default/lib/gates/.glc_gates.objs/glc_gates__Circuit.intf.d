@@ -1,0 +1,1 @@
+lib/gates/circuit.mli: Format Glc_logic Glc_model Glc_sbol

@@ -1,0 +1,1 @@
+lib/gates/circuits.ml: Assembly Circuit Glc_logic Glc_sbol

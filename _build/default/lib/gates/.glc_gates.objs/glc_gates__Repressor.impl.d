@@ -1,0 +1,1 @@
+lib/gates/repressor.ml: Glc_sbol List Printf String

@@ -1,0 +1,1 @@
+lib/gates/repressor.mli: Glc_sbol

@@ -1,0 +1,13 @@
+let all () = Circuits.all () @ Cello.all ()
+
+let find name =
+  List.find_opt (fun c -> String.equal c.Circuit.name name) (all ())
+
+let names () = List.map (fun c -> c.Circuit.name) (all ())
+
+let summary () =
+  List.map
+    (fun c ->
+      (c.Circuit.name, Circuit.arity c, Circuit.n_gates c,
+       Circuit.n_components c))
+    (all ())

@@ -1,0 +1,29 @@
+(** Cello-style circuits named by truth-table code.
+
+    Nielsen et al. (Science 2016) name each 3-input circuit by the
+    hexadecimal code of its output column ([0x0B], [0x04], [0x1C], …).
+    {!of_code} runs the full synthesis flow for any such code; {!all}
+    returns the ten circuits used in the paper's evaluation, including the
+    three whose analytics appear in the paper's Fig. 4. *)
+
+val of_code : ?arity:int -> int -> Circuit.t
+(** [of_code code] synthesises the circuit of that truth-table code
+    (default [arity = 3]), named ["0xNN"].
+    @raise Invalid_argument if the code does not fit the arity or the
+    synthesised netlist exceeds the repressor library. *)
+
+val circuit_0x0B : unit -> Circuit.t
+(** Output high on combinations 000, 001 and 011 (minterms 0, 1, 3). *)
+
+val circuit_0x04 : unit -> Circuit.t
+(** Output high on combination 010 only. *)
+
+val circuit_0x1C : unit -> Circuit.t
+(** Output high on combinations 010, 011 and 100. *)
+
+val codes : int list
+(** The ten benchmark codes:
+    [0x0B; 0x04; 0x1C; 0x70; 0x41; 0x8E; 0x5D; 0x3A; 0xB1; 0x17]. *)
+
+val all : unit -> Circuit.t list
+(** Circuits for {!codes}, in order. *)

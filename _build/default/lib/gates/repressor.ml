@@ -1,0 +1,44 @@
+type t = { rep_name : string; rep_kinetics : Glc_sbol.To_model.kinetics }
+
+let mk name ymax ymin k n =
+  { rep_name = name; rep_kinetics = { Glc_sbol.To_model.ymax; ymin; k; n } }
+
+(* Molecule-count scaled from the response functions in Nielsen et al.,
+   Science 2016 (table S5): ymax/ymin ratios of roughly 100x, and binding
+   half-responses (K) placed geometrically between the repressed (~1
+   molecule) and active (~100 molecules) expression levels so gates have
+   comfortable noise margins on both sides of the 15-molecule logic
+   threshold. *)
+let library =
+  [
+    mk "PhlF" 5.2 0.04 12.0 2.4;
+    mk "SrpR" 4.8 0.03 10.0 2.6;
+    mk "BM3R1" 4.6 0.04 15.0 2.9;
+    mk "QacR" 5.4 0.03 18.0 2.2;
+    mk "AmtR" 5.0 0.06 14.0 2.1;
+    mk "BetI" 5.1 0.05 16.0 2.0;
+    mk "HlyIIR" 4.7 0.02 11.0 2.3;
+    mk "IcaRA" 4.9 0.06 20.0 2.0;
+    mk "LitR" 5.3 0.04 13.0 2.1;
+    mk "LmrA" 5.5 0.05 17.0 1.9;
+    mk "PsrA" 4.5 0.02 19.0 2.5;
+    mk "AmeR" 5.0 0.05 12.5 2.2;
+  ]
+
+let find name = List.find_opt (fun r -> String.equal r.rep_name name) library
+let size = List.length library
+
+let extended n =
+  if n <= size then library
+  else begin
+    let synthetic =
+      List.init (n - size) (fun i ->
+          (* cycle deterministically through the characterised ranges *)
+          let ymax = 4.5 +. (float_of_int (i mod 5) *. 0.25) in
+          let ymin = 0.02 +. (float_of_int (i mod 4) *. 0.01) in
+          let k = 10. +. float_of_int (i mod 9) in
+          let hill = 1.9 +. (float_of_int (i mod 6) *. 0.2) in
+          mk (Printf.sprintf "SynR%d" (i + 1)) ymax ymin k hill)
+    in
+    library @ synthetic
+  end

@@ -1,0 +1,32 @@
+(** The repressor part library.
+
+    Cello's gate library (Nielsen et al., Science 2016) is a set of
+    orthogonal prokaryotic repressors, each characterised by a Hill
+    response function. Parameters here are molecule-count scaled versions
+    of the published response ranges: maximal output 1.5–4 molecules/t.u.,
+    leakage 1–5% of maximal, half-response 8–30 molecules, Hill
+    coefficients 1.5–3. A circuit may use each repressor at most once
+    (orthogonality), which {!Assembly} enforces. *)
+
+type t = {
+  rep_name : string;
+  rep_kinetics : Glc_sbol.To_model.kinetics;
+}
+
+val library : t list
+(** The twelve repressors, in assignment order: PhlF, SrpR, BM3R1, QacR,
+    AmtR, BetI, HlyIIR, IcaRA, LitR, LmrA, PsrA, AmeR. *)
+
+val find : string -> t option
+(** Lookup by name. *)
+
+val size : int
+(** Number of repressors available, i.e. the largest circuit (in gates)
+    that can be assembled. *)
+
+val extended : int -> t list
+(** [extended n] is the library followed by [n - size] synthetic
+    orthogonal repressors ([SynR1], [SynR2], …) with parameters cycled
+    through the characterised ranges — for scalability studies beyond
+    what today's 12-repressor part libraries can build (the paper's
+    "n-input" claim). Returns the plain library when [n <= size]. *)

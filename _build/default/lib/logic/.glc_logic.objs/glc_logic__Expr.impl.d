@@ -1,0 +1,1 @@
+lib/logic/expr.ml: Array Format Int List Printf Set String Truth_table

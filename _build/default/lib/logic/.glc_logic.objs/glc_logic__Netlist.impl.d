@@ -1,0 +1,1 @@
+lib/logic/netlist.ml: Array Buffer Format Hashtbl List Printf Qm Set String Truth_table

@@ -1,0 +1,1 @@
+lib/logic/qm.ml: Array Expr Format Hashtbl Int List Truth_table

@@ -1,0 +1,1 @@
+lib/logic/truth_table.ml: Array Bytes Char Format Int List Printf Sys

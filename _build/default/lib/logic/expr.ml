@@ -1,0 +1,258 @@
+type t =
+  | True
+  | False
+  | Var of string
+  | Not of t
+  | And of t list
+  | Or of t list
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Var v -> env v
+  | Not e -> not (eval env e)
+  | And es -> List.for_all (eval env) es
+  | Or es -> List.exists (eval env) es
+
+let vars e =
+  let module S = Set.Make (String) in
+  let rec collect acc = function
+    | True | False -> acc
+    | Var v -> S.add v acc
+    | Not e -> collect acc e
+    | And es | Or es -> List.fold_left collect acc es
+  in
+  S.elements (collect S.empty e)
+
+let to_truth_table ~inputs e =
+  let index name =
+    let rec find i =
+      if i >= Array.length inputs then
+        invalid_arg
+          (Printf.sprintf "Expr.to_truth_table: unknown variable %S" name)
+      else if String.equal inputs.(i) name then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  (* Resolve names once so evaluation per row is a pure bit test. *)
+  let rec resolve = function
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Var v ->
+        let i = index v in
+        fun row -> (row lsr i) land 1 = 1
+    | Not e ->
+        let f = resolve e in
+        fun row -> not (f row)
+    | And es ->
+        let fs = List.map resolve es in
+        fun row -> List.for_all (fun f -> f row) fs
+    | Or es ->
+        let fs = List.map resolve es in
+        fun row -> List.exists (fun f -> f row) fs
+  in
+  let f = resolve e in
+  Truth_table.create ~arity:(Array.length inputs) f
+
+let minterm_product ~inputs row =
+  let lits =
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           if (row lsr i) land 1 = 1 then Var name else Not (Var name))
+         inputs)
+  in
+  match lits with [] -> True | [ l ] -> l | ls -> And ls
+
+let of_minterms ~inputs ms =
+  let n = 1 lsl Array.length inputs in
+  let ms = List.sort_uniq Int.compare ms in
+  if List.length ms = n then True
+  else
+    match List.map (minterm_product ~inputs) ms with
+    | [] -> False
+    | [ p ] -> p
+    | ps -> Or ps
+
+let of_truth_table ~inputs tt =
+  if Truth_table.arity tt <> Array.length inputs then
+    invalid_arg "Expr.of_truth_table: arity mismatch";
+  of_minterms ~inputs (Truth_table.minterms tt)
+
+let equivalent ~inputs a b =
+  Truth_table.equal (to_truth_table ~inputs a) (to_truth_table ~inputs b)
+
+(* Paper-style SOP rendering when the shape allows, infix otherwise. *)
+
+let rec is_literal = function
+  | Var _ -> true
+  | Not e -> is_literal e
+  | True | False | And _ | Or _ -> false
+
+let is_product = function
+  | e when is_literal e -> true
+  | And es -> List.for_all is_literal es
+  | True | False | Var _ | Not _ | Or _ -> false
+
+let is_sop = function
+  | e when is_product e -> true
+  | Or es -> List.for_all is_product es
+  | True | False | Var _ | Not _ | And _ -> false
+
+let rec pp_literal ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Not e ->
+      pp_literal ppf e;
+      Format.pp_print_char ppf '\''
+  | True | False | And _ | Or _ -> assert false
+
+let pp_product ppf = function
+  | And es ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '.')
+        pp_literal ppf es
+  | e -> pp_literal ppf e
+
+let pp_sop ppf = function
+  | Or es ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ")
+        pp_product ppf es
+  | e -> pp_product ppf e
+
+let rec pp_infix ppf = function
+  | True -> Format.pp_print_string ppf "1"
+  | False -> Format.pp_print_string ppf "0"
+  | Var v -> Format.pp_print_string ppf v
+  | Not e -> Format.fprintf ppf "!(%a)" pp_infix e
+  | And es ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+           pp_infix)
+        es
+  | Or es ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+           pp_infix)
+        es
+
+let pp ppf e =
+  match e with
+  | True -> Format.pp_print_string ppf "1"
+  | False -> Format.pp_print_string ppf "0"
+  | e when is_sop e -> pp_sop ppf e
+  | e -> pp_infix ppf e
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* Recursive-descent parser.
+
+   disjunction := conjunction (('+' | '|' | '||') conjunction)*
+   conjunction := negation (('.' | '&' | '&&' | '*') negation)*
+   negation    := ('!' | '~') negation | atom '''*
+   atom        := '0' | '1' | variable | '(' disjunction ')'           *)
+
+exception Parse_fail of int * string
+
+let of_string input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_fail (!pos, msg)) in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let skip_spaces () =
+    while
+      !pos < len
+      && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let eat c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | Some _ | None -> fail (Printf.sprintf "expected %C" c)
+  in
+  (* consumes an operator spelled by one or two characters *)
+  let try_op chars =
+    skip_spaces ();
+    match peek () with
+    | Some c when List.mem c chars ->
+        incr pos;
+        (* allow doubled forms && and || *)
+        (match (c, peek ()) with
+        | ('&', Some '&') | ('|', Some '|') -> incr pos
+        | _ -> ());
+        true
+    | Some _ | None -> false
+  in
+  let is_var_start = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+    | _ -> false
+  in
+  let is_var_char c = is_var_start c || match c with '0' .. '9' -> true | _ -> false in
+  let read_var () =
+    let start = !pos in
+    while !pos < len && is_var_char input.[!pos] do
+      incr pos
+    done;
+    String.sub input start (!pos - start)
+  in
+  let rec disjunction () =
+    let first = conjunction () in
+    let rec more acc =
+      if try_op [ '+'; '|' ] then more (conjunction () :: acc)
+      else List.rev acc
+    in
+    match more [ first ] with [ e ] -> e | es -> Or es
+  and conjunction () =
+    let first = negation () in
+    let rec more acc =
+      if try_op [ '.'; '&'; '*' ] then more (negation () :: acc)
+      else List.rev acc
+    in
+    match more [ first ] with [ e ] -> e | es -> And es
+  and negation () =
+    skip_spaces ();
+    match peek () with
+    | Some ('!' | '~') ->
+        incr pos;
+        Not (negation ())
+    | Some _ | None -> postfix (atom ())
+  and postfix e =
+    (* postfix primes bind tighter than any infix operator *)
+    match peek () with
+    | Some '\'' ->
+        incr pos;
+        postfix (Not e)
+    | Some _ | None -> e
+  and atom () =
+    skip_spaces ();
+    match peek () with
+    | Some '(' ->
+        eat '(';
+        let e = disjunction () in
+        skip_spaces ();
+        eat ')';
+        e
+    | Some '0' ->
+        incr pos;
+        False
+    | Some '1' ->
+        incr pos;
+        True
+    | Some c when is_var_start c -> Var (read_var ())
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    | None -> fail "unexpected end of input"
+  in
+  match
+    let e = disjunction () in
+    skip_spaces ();
+    if !pos <> len then fail "trailing input";
+    e
+  with
+  | e -> Ok e
+  | exception Parse_fail (p, msg) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" p msg)

@@ -1,0 +1,58 @@
+(** Boolean expressions over named variables.
+
+    The analysis algorithm of the paper reports the logic it extracts from
+    simulation traces as a sum-of-products Boolean expression such as
+    [GFP = I1'.I2'.I3' + I1'.I2'.I3]. This module provides the expression
+    AST, evaluation, conversion to and from {!Truth_table.t}, and the
+    paper-style printer. *)
+
+type t =
+  | True
+  | False
+  | Var of string
+  | Not of t
+  | And of t list  (** conjunction of two or more terms *)
+  | Or of t list  (** disjunction of two or more terms *)
+
+val eval : (string -> bool) -> t -> bool
+(** [eval env e] evaluates [e], looking up variables in [env].
+    [And []] is [true] and [Or []] is [false]. *)
+
+val vars : t -> string list
+(** Variables occurring in the expression, sorted and without duplicates. *)
+
+val to_truth_table : inputs:string array -> t -> Truth_table.t
+(** [to_truth_table ~inputs e] tabulates [e] with input [i] of the table
+    bound to variable [inputs.(i)]. Variables of [e] not listed in
+    [inputs] raise [Invalid_argument]. *)
+
+val of_minterms : inputs:string array -> int list -> t
+(** Canonical (unminimised) sum-of-products over the given rows. The empty
+    list yields [False]; the complete list yields [True]. *)
+
+val of_truth_table : inputs:string array -> Truth_table.t -> t
+(** Canonical sum-of-products of the table's minterms. *)
+
+val equivalent : inputs:string array -> t -> t -> bool
+(** Semantic equivalence over the given input ordering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering: products are juxtaposed with [.], negation is a
+    postfix prime, sums use [ + ]; e.g. [I1'.I2.I3 + I1.I2'.I3]. General
+    (non-SOP) expressions fall back to a parenthesised infix form. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses both notations {!pp} emits and the usual infix operators:
+
+    - constants [0] and [1];
+    - variables (letters, digits, [_], not starting with a digit);
+    - negation: postfix ['] or prefix [!] / [~];
+    - conjunction: [.], [&], [&&] or [*];
+    - disjunction: [+], [|] or [||];
+    - parentheses.
+
+    Precedence: negation, then conjunction, then disjunction. The parser
+    accepts everything {!pp} prints ([of_string (to_string e)] re-reads
+    an equivalent expression, tested). *)

@@ -1,0 +1,127 @@
+type implicant = { value : int; mask : int }
+
+let covers imp m = m land lnot imp.mask = imp.value
+
+let implicant_literals ~arity imp =
+  let rec go i acc =
+    if i < 0 then acc
+    else if imp.mask land (1 lsl i) <> 0 then go (i - 1) acc
+    else go (i - 1) ((i, imp.value land (1 lsl i) <> 0) :: acc)
+  in
+  go (arity - 1) []
+
+let implicant_compare a b =
+  match Int.compare a.mask b.mask with
+  | 0 -> Int.compare a.value b.value
+  | c -> c
+
+(* One combining pass: merge implicants (equal mask, values differing in one
+   bit) and report which inputs were merged. *)
+let combine_once imps =
+  let merged = Hashtbl.create 64 in
+  let used = Hashtbl.create 64 in
+  let arr = Array.of_list imps in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if a.mask = b.mask then begin
+        let diff = a.value lxor b.value in
+        if diff <> 0 && diff land (diff - 1) = 0 then begin
+          let c = { value = a.value land b.value; mask = a.mask lor diff } in
+          Hashtbl.replace merged c ();
+          Hashtbl.replace used a ();
+          Hashtbl.replace used b ()
+        end
+      end
+    done
+  done;
+  let primes =
+    List.filter (fun imp -> not (Hashtbl.mem used imp)) imps
+  in
+  let next = Hashtbl.fold (fun imp () acc -> imp :: acc) merged [] in
+  (primes, List.sort implicant_compare next)
+
+let prime_implicants tt =
+  let minterms = Truth_table.minterms tt in
+  let rec loop imps acc =
+    match imps with
+    | [] -> acc
+    | _ ->
+        let primes, next = combine_once imps in
+        loop next (List.rev_append primes acc)
+  in
+  let initial =
+    List.map (fun m -> { value = m; mask = 0 }) minterms
+  in
+  List.sort_uniq implicant_compare (loop initial [])
+
+let minimise tt =
+  match Truth_table.is_constant tt with
+  | Some false -> []
+  | Some true ->
+      [ { value = 0; mask = (1 lsl Truth_table.arity tt) - 1 } ]
+  | None ->
+      let primes = prime_implicants tt in
+      let minterms = Truth_table.minterms tt in
+      (* Essential primes: sole cover of some minterm. *)
+      let coverers m = List.filter (fun p -> covers p m) primes in
+      let essential =
+        List.filter_map
+          (fun m -> match coverers m with [ p ] -> Some p | _ -> None)
+          minterms
+        |> List.sort_uniq implicant_compare
+      in
+      let covered m = List.exists (fun p -> covers p m) essential in
+      let remaining = List.filter (fun m -> not (covered m)) minterms in
+      (* Greedy completion over the remaining minterms. *)
+      let rec greedy chosen remaining =
+        match remaining with
+        | [] -> chosen
+        | _ ->
+            let best =
+              List.fold_left
+                (fun best p ->
+                  let gain =
+                    List.length (List.filter (covers p) remaining)
+                  in
+                  match best with
+                  | Some (_, g) when g >= gain -> best
+                  | _ when gain = 0 -> best
+                  | _ -> Some (p, gain))
+                None primes
+            in
+            let p =
+              match best with
+              | Some (p, _) -> p
+              | None -> assert false (* primes always cover all minterms *)
+            in
+            greedy (p :: chosen)
+              (List.filter (fun m -> not (covers p m)) remaining)
+      in
+      List.sort implicant_compare (greedy essential remaining)
+
+let to_expr ~inputs tt =
+  if Truth_table.arity tt <> Array.length inputs then
+    invalid_arg "Qm.to_expr: arity mismatch";
+  let arity = Array.length inputs in
+  let product imp =
+    let lits =
+      List.map
+        (fun (i, positive) ->
+          if positive then Expr.Var inputs.(i) else Expr.Not (Var inputs.(i)))
+        (implicant_literals ~arity imp)
+    in
+    match lits with [] -> Expr.True | [ l ] -> l | ls -> Expr.And ls
+  in
+  match List.map product (minimise tt) with
+  | [] -> Expr.False
+  | [ p ] -> p
+  | ps -> Expr.Or ps
+
+let pp_implicant ~arity ppf imp =
+  for i = arity - 1 downto 0 do
+    let bit = 1 lsl i in
+    if imp.mask land bit <> 0 then Format.pp_print_char ppf '-'
+    else Format.pp_print_char ppf (if imp.value land bit <> 0 then '1' else '0')
+  done

@@ -1,0 +1,37 @@
+(** Two-level logic minimisation (Quine–McCluskey).
+
+    Used by the Cello-style synthesis front-end to turn a truth-table code
+    such as [0x1C] into a compact sum-of-products before NOR technology
+    mapping, exactly as a genetic design automation flow would.
+
+    Cover selection takes all essential prime implicants and completes the
+    cover greedily (largest remaining coverage first); the result is always
+    a correct cover and minimal in all the small cases exercised here, but
+    greedy completion is not guaranteed minimum in general. *)
+
+type implicant = {
+  value : int;  (** fixed bit values; zero on don't-care positions *)
+  mask : int;  (** set bits mark don't-care positions *)
+}
+
+val covers : implicant -> int -> bool
+(** [covers imp m] tests whether minterm [m] is covered by [imp]. *)
+
+val implicant_literals : arity:int -> implicant -> (int * bool) list
+(** The fixed literals of an implicant as [(input index, polarity)] pairs,
+    in increasing index order. *)
+
+val prime_implicants : Truth_table.t -> implicant list
+(** All prime implicants of the function, in a deterministic order. *)
+
+val minimise : Truth_table.t -> implicant list
+(** A prime-implicant cover of the function (see note above). The constant
+    [false] function yields [[]]; the constant [true] function yields a
+    single all-don't-care implicant. *)
+
+val to_expr : inputs:string array -> Truth_table.t -> Expr.t
+(** Minimised sum-of-products expression of a truth table. *)
+
+val pp_implicant : arity:int -> Format.formatter -> implicant -> unit
+(** Cube notation, e.g. [1-0] for arity 3 (input 2 = 1, input 1 = don't
+    care, input 0 = 0; leftmost character is the highest input index). *)

@@ -1,0 +1,1 @@
+lib/model/math.ml: Float Format Printf Set Stdlib String

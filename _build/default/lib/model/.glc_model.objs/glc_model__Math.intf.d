@@ -1,0 +1,1 @@
+lib/model/math.mli: Format

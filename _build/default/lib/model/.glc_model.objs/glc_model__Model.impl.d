@@ -1,0 +1,1 @@
+lib/model/model.ml: Format Hashtbl List Math Option Printf String

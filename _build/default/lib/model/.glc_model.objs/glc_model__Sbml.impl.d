@@ -1,0 +1,1 @@
+lib/model/sbml.ml: Float Fun List Math Model Printf Result String Xml

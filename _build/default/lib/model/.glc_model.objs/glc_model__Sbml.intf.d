@@ -1,0 +1,1 @@
+lib/model/sbml.mli: Math Model Xml

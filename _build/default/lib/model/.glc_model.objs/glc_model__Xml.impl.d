@@ -1,0 +1,1 @@
+lib/model/xml.ml: Buffer Char List Printf String

@@ -1,0 +1,287 @@
+type t =
+  | Const of float
+  | Ident of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow of t * t
+  | Min of t * t
+  | Max of t * t
+  | Exp of t
+  | Ln of t
+
+let rec eval ~lookup = function
+  | Const c -> c
+  | Ident x -> lookup x
+  | Neg a -> -.eval ~lookup a
+  | Add (a, b) -> eval ~lookup a +. eval ~lookup b
+  | Sub (a, b) -> eval ~lookup a -. eval ~lookup b
+  | Mul (a, b) -> eval ~lookup a *. eval ~lookup b
+  | Div (a, b) -> eval ~lookup a /. eval ~lookup b
+  | Pow (a, b) -> Float.pow (eval ~lookup a) (eval ~lookup b)
+  | Min (a, b) -> Float.min (eval ~lookup a) (eval ~lookup b)
+  | Max (a, b) -> Float.max (eval ~lookup a) (eval ~lookup b)
+  | Exp a -> Float.exp (eval ~lookup a)
+  | Ln a -> Float.log (eval ~lookup a)
+
+let idents e =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Const _ -> acc
+    | Ident x -> S.add x acc
+    | Neg a | Exp a | Ln a -> go acc a
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Pow (a, b)
+    | Min (a, b) | Max (a, b) ->
+        go (go acc a) b
+  in
+  S.elements (go S.empty e)
+
+let rec subst f = function
+  | Const c -> Const c
+  | Ident x -> ( match f x with Some t -> t | None -> Ident x)
+  | Neg a -> Neg (subst f a)
+  | Add (a, b) -> Add (subst f a, subst f b)
+  | Sub (a, b) -> Sub (subst f a, subst f b)
+  | Mul (a, b) -> Mul (subst f a, subst f b)
+  | Div (a, b) -> Div (subst f a, subst f b)
+  | Pow (a, b) -> Pow (subst f a, subst f b)
+  | Min (a, b) -> Min (subst f a, subst f b)
+  | Max (a, b) -> Max (subst f a, subst f b)
+  | Exp a -> Exp (subst f a)
+  | Ln a -> Ln (subst f a)
+
+let num c = Const c
+let var x = Ident x
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+let ( ** ) a b = Pow (a, b)
+
+let hill_repression ~ymin ~ymax ~k ~n x =
+  ymin + ((ymax - ymin) * (k ** n) / ((k ** n) + (x ** n)))
+
+let hill_activation ~ymin ~ymax ~k ~n x =
+  ymin + ((ymax - ymin) * (x ** n) / ((k ** n) + (x ** n)))
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> Float.equal x y
+  | Ident x, Ident y -> String.equal x y
+  | Neg x, Neg y | Exp x, Exp y | Ln x, Ln y -> equal x y
+  | Add (x1, x2), Add (y1, y2)
+  | Sub (x1, x2), Sub (y1, y2)
+  | Mul (x1, x2), Mul (y1, y2)
+  | Div (x1, x2), Div (y1, y2)
+  | Pow (x1, x2), Pow (y1, y2)
+  | Min (x1, x2), Min (y1, y2)
+  | Max (x1, x2), Max (y1, y2) ->
+      equal x1 y1 && equal x2 y2
+  | ( ( Const _ | Ident _ | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Pow _
+      | Min _ | Max _ | Exp _ | Ln _ ),
+      _ ) ->
+      false
+
+(* Precedence levels: Add/Sub 1, Mul/Div 2, unary 3, Pow 4, atoms 5. *)
+let rec pp_prec prec ppf e =
+  let paren p body =
+    if prec > p then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Const c -> Format.fprintf ppf "%g" c
+  | Ident x -> Format.pp_print_string ppf x
+  | Neg a -> paren 3 (fun ppf -> Format.fprintf ppf "-%a" (pp_prec 3) a)
+  | Add (a, b) ->
+      paren 1 (fun ppf ->
+          Format.fprintf ppf "%a + %a" (pp_prec 1) a (pp_prec 2) b)
+  | Sub (a, b) ->
+      paren 1 (fun ppf ->
+          Format.fprintf ppf "%a - %a" (pp_prec 1) a (pp_prec 2) b)
+  | Mul (a, b) ->
+      paren 2 (fun ppf ->
+          Format.fprintf ppf "%a * %a" (pp_prec 2) a (pp_prec 3) b)
+  | Div (a, b) ->
+      paren 2 (fun ppf ->
+          Format.fprintf ppf "%a / %a" (pp_prec 2) a (pp_prec 3) b)
+  | Pow (a, b) ->
+      paren 4 (fun ppf ->
+          Format.fprintf ppf "%a^%a" (pp_prec 5) a (pp_prec 4) b)
+  | Min (a, b) ->
+      Format.fprintf ppf "min(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Max (a, b) ->
+      Format.fprintf ppf "max(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Exp a -> Format.fprintf ppf "exp(%a)" (pp_prec 0) a
+  | Ln a -> Format.fprintf ppf "ln(%a)" (pp_prec 0) a
+
+let pp ppf e = pp_prec 0 ppf e
+let to_string e = Format.asprintf "%a" pp e
+
+(* Recursive-descent parser, mirroring pp's precedence:
+
+   sum     := product (('+' | '-') product)*
+   product := unary (('*' | '/') unary)*
+   unary   := '-' unary | power
+   power   := atom ('^' unary)?
+   atom    := number | ident | fn '(' sum (',' sum)? ')' | '(' sum ')'  *)
+
+exception Parse_fail of int * string
+
+let of_string input =
+  (* restore integer subtraction shadowed by this module's operators *)
+  let ( - ) = Stdlib.( - ) in
+  let len = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_fail (!pos, msg)) in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let skip_spaces () =
+    while
+      !pos < len
+      &&
+      match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let eat c =
+    skip_spaces ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | Some _ | None -> fail (Printf.sprintf "expected %C" c)
+  in
+  let try_char c =
+    skip_spaces ();
+    match peek () with
+    | Some c' when c' = c ->
+        incr pos;
+        true
+    | Some _ | None -> false
+  in
+  let is_digit = function '0' .. '9' -> true | _ -> false in
+  let is_ident_start = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+    | _ -> false
+  in
+  let is_ident_char c = is_ident_start c || is_digit c in
+  let read_number () =
+    let start = !pos in
+    while !pos < len && is_digit input.[!pos] do
+      incr pos
+    done;
+    if !pos < len && input.[!pos] = '.' then begin
+      incr pos;
+      while !pos < len && is_digit input.[!pos] do
+        incr pos
+      done
+    end;
+    if !pos < len && (input.[!pos] = 'e' || input.[!pos] = 'E') then begin
+      let mark = !pos in
+      incr pos;
+      if !pos < len && (input.[!pos] = '+' || input.[!pos] = '-') then
+        incr pos;
+      if !pos < len && is_digit input.[!pos] then
+        while !pos < len && is_digit input.[!pos] do
+          incr pos
+        done
+      else pos := mark (* 'e' belonged to an identifier after all *)
+    end;
+    let s = String.sub input start (!pos - start) in
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail (Printf.sprintf "invalid number %S" s)
+  in
+  let read_ident () =
+    let start = !pos in
+    while !pos < len && is_ident_char input.[!pos] do
+      incr pos
+    done;
+    String.sub input start (!pos - start)
+  in
+  let rec sum () =
+    let first = product () in
+    let rec more acc =
+      skip_spaces ();
+      match peek () with
+      | Some '+' ->
+          incr pos;
+          more (Add (acc, product ()))
+      | Some '-' ->
+          incr pos;
+          more (Sub (acc, product ()))
+      | Some _ | None -> acc
+    in
+    more first
+  and product () =
+    let first = unary () in
+    let rec more acc =
+      skip_spaces ();
+      match peek () with
+      | Some '*' ->
+          incr pos;
+          more (Mul (acc, unary ()))
+      | Some '/' ->
+          incr pos;
+          more (Div (acc, unary ()))
+      | Some _ | None -> acc
+    in
+    more first
+  and unary () =
+    skip_spaces ();
+    if try_char '-' then Neg (unary ()) else power ()
+  and power () =
+    let base = atom () in
+    skip_spaces ();
+    if try_char '^' then Pow (base, unary ()) else base
+  and atom () =
+    skip_spaces ();
+    match peek () with
+    | Some '(' ->
+        eat '(';
+        let e = sum () in
+        eat ')';
+        e
+    | Some c when is_digit c || c = '.' -> Const (read_number ())
+    | Some c when is_ident_start c -> begin
+        let name = read_ident () in
+        skip_spaces ();
+        match (name, peek ()) with
+        | "min", Some '(' ->
+            eat '(';
+            let a = sum () in
+            eat ',';
+            let b = sum () in
+            eat ')';
+            Min (a, b)
+        | "max", Some '(' ->
+            eat '(';
+            let a = sum () in
+            eat ',';
+            let b = sum () in
+            eat ')';
+            Max (a, b)
+        | "exp", Some '(' ->
+            eat '(';
+            let a = sum () in
+            eat ')';
+            Exp a
+        | "ln", Some '(' ->
+            eat '(';
+            let a = sum () in
+            eat ')';
+            Ln a
+        | _, Some '(' -> fail (Printf.sprintf "unknown function %S" name)
+        | _, (Some _ | None) -> Ident name
+      end
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    | None -> fail "unexpected end of input"
+  in
+  match
+    let e = sum () in
+    skip_spaces ();
+    if !pos <> len then fail "trailing input";
+    e
+  with
+  | e -> Ok e
+  | exception Parse_fail (p, msg) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" p msg)

@@ -1,0 +1,66 @@
+(** Kinetic-law mathematics.
+
+    SBML expresses reaction kinetics as MathML expressions over species and
+    parameter identifiers. This is the abstract syntax the simulator
+    evaluates; {!Sbml} serialises it to and from the MathML subset. *)
+
+type t =
+  | Const of float
+  | Ident of string  (** reference to a species or parameter *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow of t * t
+  | Min of t * t
+  | Max of t * t
+  | Exp of t
+  | Ln of t
+
+val eval : lookup:(string -> float) -> t -> float
+(** [eval ~lookup e] evaluates [e]; identifiers are resolved by [lookup]
+    (which should raise for unknown names). Division by zero and domain
+    errors follow IEEE semantics ([nan], [infinity]). *)
+
+val idents : t -> string list
+(** Identifiers referenced, sorted, without duplicates. *)
+
+val subst : (string -> t option) -> t -> t
+(** [subst f e] replaces each identifier [x] with [t] when [f x = Some t]. *)
+
+val hill_repression : ymin:t -> ymax:t -> k:t -> n:t -> t -> t
+(** [hill_repression ~ymin ~ymax ~k ~n x] is the repressor response function
+    used by Cello gates:
+    [ymin + (ymax - ymin) * k^n / (k^n + x^n)]. *)
+
+val hill_activation : ymin:t -> ymax:t -> k:t -> n:t -> t -> t
+(** [ymin + (ymax - ymin) * x^n / (k^n + x^n)]. *)
+
+val num : float -> t
+(** Shorthand for [Const]. *)
+
+val var : string -> t
+(** Shorthand for [Ident]. *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ** ) : t -> t -> t
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Infix rendering with minimal parentheses. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses infix kinetic laws: numbers (including scientific notation),
+    identifiers, [+ - * / ^], unary minus, parentheses, and the
+    functions [min(a, b)], [max(a, b)], [exp(a)], [ln(a)]. [^] is
+    right-associative and binds tighter than unary minus, as in {!pp}
+    ([of_string (to_string e)] re-reads an equivalent expression,
+    tested). *)

@@ -1,0 +1,190 @@
+type species = {
+  s_id : string;
+  s_name : string;
+  s_initial : float;
+  s_boundary : bool;
+}
+
+type parameter = { p_id : string; p_value : float }
+
+type reaction = {
+  r_id : string;
+  r_reactants : (string * int) list;
+  r_products : (string * int) list;
+  r_modifiers : string list;
+  r_rate : Math.t;
+}
+
+type t = {
+  m_id : string;
+  m_species : species list;
+  m_parameters : parameter list;
+  m_reactions : reaction list;
+}
+
+let species ?name ?(boundary = false) id initial =
+  {
+    s_id = id;
+    s_name = (match name with Some n -> n | None -> id);
+    s_initial = initial;
+    s_boundary = boundary;
+  }
+
+let parameter id value = { p_id = id; p_value = value }
+
+let reaction ?(reactants = []) ?(products = []) ?(modifiers = []) ~rate id =
+  {
+    r_id = id;
+    r_reactants = reactants;
+    r_products = products;
+    r_modifiers = modifiers;
+    r_rate = rate;
+  }
+
+let find_species m id =
+  List.find_opt (fun s -> String.equal s.s_id id) m.m_species
+
+let find_parameter m id =
+  List.find_opt (fun p -> String.equal p.p_id id) m.m_parameters
+
+let find_reaction m id =
+  List.find_opt (fun r -> String.equal r.r_id id) m.m_reactions
+
+let species_ids m = List.map (fun s -> s.s_id) m.m_species
+
+let parameter_value m id =
+  Option.map (fun p -> p.p_value) (find_parameter m id)
+
+let duplicates ids =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun id ->
+      if Hashtbl.mem seen id then Some id
+      else begin
+        Hashtbl.replace seen id ();
+        None
+      end)
+    ids
+
+let validate m =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let species_ids = List.map (fun s -> s.s_id) m.m_species in
+  let param_ids = List.map (fun p -> p.p_id) m.m_parameters in
+  List.iter (err "duplicate species id %S") (duplicates species_ids);
+  List.iter (err "duplicate parameter id %S") (duplicates param_ids);
+  List.iter
+    (err "duplicate reaction id %S")
+    (duplicates (List.map (fun r -> r.r_id) m.m_reactions));
+  List.iter
+    (err "identifier %S is both a species and a parameter")
+    (List.filter (fun id -> List.mem id param_ids) species_ids);
+  List.iter
+    (fun s ->
+      if s.s_initial < 0. then
+        err "species %S has negative initial amount %g" s.s_id s.s_initial)
+    m.m_species;
+  let is_species id = List.mem id species_ids in
+  let is_known id = is_species id || List.mem id param_ids in
+  let is_boundary id =
+    match find_species m id with Some s -> s.s_boundary | None -> false
+  in
+  List.iter
+    (fun r ->
+      let check_side side =
+        List.iter
+          (fun (id, st) ->
+            if not (is_species id) then
+              err "reaction %S references undeclared species %S" r.r_id id
+            else if is_boundary id then
+              err "reaction %S writes to boundary species %S" r.r_id id;
+            if st <= 0 then
+              err "reaction %S has non-positive stoichiometry for %S" r.r_id id)
+          side
+      in
+      check_side r.r_reactants;
+      check_side r.r_products;
+      List.iter
+        (fun id ->
+          if not (is_species id) then
+            err "reaction %S has undeclared modifier %S" r.r_id id)
+        r.r_modifiers;
+      List.iter
+        (fun id ->
+          if not (is_known id) then
+            err "kinetic law of %S references undeclared identifier %S" r.r_id
+              id)
+        (Math.idents r.r_rate))
+    m.m_reactions;
+  List.rev !errs
+
+let make ~id ~species ?(parameters = []) ~reactions () =
+  let m =
+    {
+      m_id = id;
+      m_species = species;
+      m_parameters = parameters;
+      m_reactions = reactions;
+    }
+  in
+  match validate m with
+  | [] -> m
+  | errs ->
+      invalid_arg
+        (Printf.sprintf "Model.make %S: %s" id (String.concat "; " errs))
+
+let map_rates f m =
+  let m =
+    {
+      m with
+      m_reactions =
+        List.map (fun r -> { r with r_rate = f r.r_rate }) m.m_reactions;
+    }
+  in
+  match validate m with
+  | [] -> m
+  | errs ->
+      invalid_arg
+        (Printf.sprintf "Model.map_rates: %s" (String.concat "; " errs))
+
+let with_initial m id v =
+  match find_species m id with
+  | None -> raise Not_found
+  | Some _ ->
+      {
+        m with
+        m_species =
+          List.map
+            (fun s ->
+              if String.equal s.s_id id then { s with s_initial = v } else s)
+            m.m_species;
+      }
+
+let pp_side ppf side =
+  match side with
+  | [] -> Format.pp_print_string ppf "(none)"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ")
+        (fun ppf (id, st) ->
+          if st = 1 then Format.pp_print_string ppf id
+          else Format.fprintf ppf "%d %s" st id)
+        ppf side
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>model %s: %d species, %d parameters, %d reactions"
+    m.m_id
+    (List.length m.m_species)
+    (List.length m.m_parameters)
+    (List.length m.m_reactions);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@,  species %s = %g%s" s.s_id s.s_initial
+        (if s.s_boundary then " (boundary)" else ""))
+    m.m_species;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@,  %s: %a -> %a @@ %a" r.r_id pp_side r.r_reactants
+        pp_side r.r_products Math.pp r.r_rate)
+    m.m_reactions;
+  Format.fprintf ppf "@]"

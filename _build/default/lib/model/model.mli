@@ -1,0 +1,84 @@
+(** Kinetic reaction-network models (the executable core of SBML).
+
+    A model is a set of species with initial molecule counts, a set of
+    global parameters, and a set of reactions whose kinetic laws are
+    {!Math} expressions over species and parameter identifiers. The
+    stochastic simulator interprets each kinetic law directly as the
+    reaction's propensity function, which is how D-VASim executes the
+    SBML models of genetic circuits. *)
+
+type species = {
+  s_id : string;
+  s_name : string;  (** human-readable name; defaults to [s_id] *)
+  s_initial : float;  (** initial molecule count *)
+  s_boundary : bool;
+      (** boundary species are never changed by reactions — used for the
+          circuit's input signals, which the virtual laboratory drives *)
+}
+
+type parameter = { p_id : string; p_value : float }
+
+type reaction = {
+  r_id : string;
+  r_reactants : (string * int) list;  (** species id and stoichiometry *)
+  r_products : (string * int) list;
+  r_modifiers : string list;
+      (** species read by the kinetic law without being consumed *)
+  r_rate : Math.t;  (** propensity function *)
+}
+
+type t = {
+  m_id : string;
+  m_species : species list;
+  m_parameters : parameter list;
+  m_reactions : reaction list;
+}
+
+val species : ?name:string -> ?boundary:bool -> string -> float -> species
+(** [species id initial] with optional name and boundary flag. *)
+
+val parameter : string -> float -> parameter
+
+val reaction :
+  ?reactants:(string * int) list ->
+  ?products:(string * int) list ->
+  ?modifiers:string list ->
+  rate:Math.t ->
+  string ->
+  reaction
+
+val make :
+  id:string ->
+  species:species list ->
+  ?parameters:parameter list ->
+  reactions:reaction list ->
+  unit ->
+  t
+(** Builds and validates a model.
+    @raise Invalid_argument when {!validate} reports errors. *)
+
+val validate : t -> string list
+(** Well-formedness diagnostics: duplicate identifiers, references to
+    undeclared species/parameters (in stoichiometry lists or kinetic
+    laws), non-positive stoichiometry, negative initial amounts, reactions
+    writing to boundary species. Empty means valid. *)
+
+val find_species : t -> string -> species option
+val find_parameter : t -> string -> parameter option
+val find_reaction : t -> string -> reaction option
+
+val species_ids : t -> string list
+(** Identifiers in declaration order. *)
+
+val parameter_value : t -> string -> float option
+
+val map_rates : (Math.t -> Math.t) -> t -> t
+(** Rewrites every kinetic law; revalidates the result. *)
+
+val with_initial : t -> string -> float -> t
+(** [with_initial m id v] returns a copy of [m] where species [id] starts
+    at [v] molecules.
+    @raise Not_found if the species does not exist. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact human-readable summary (ids, counts, reaction arrows). *)

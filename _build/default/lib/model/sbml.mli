@@ -1,0 +1,26 @@
+(** SBML subset reader and writer.
+
+    Serialises {!Model.t} to the SBML Level 3 Version 1 core subset that
+    genetic-circuit models use: compartment-less well-mixed models with
+    species, global parameters, irreversible reactions and MathML kinetic
+    laws. A single implicit compartment [cell] is emitted for conformance
+    and ignored on input.
+
+    The reader accepts the writer's output (round-trip property, tested)
+    and any document restricted to the same subset. *)
+
+val to_xml : Model.t -> Xml.t
+val to_string : Model.t -> string
+
+val of_xml : Xml.t -> (Model.t, string) result
+val of_string : string -> (Model.t, string) result
+
+val write_file : string -> Model.t -> unit
+(** [write_file path m] writes [to_string m] to [path]. *)
+
+val read_file : string -> (Model.t, string) result
+
+val math_to_xml : Math.t -> Xml.t
+(** MathML [<math>] element for a kinetic law (exposed for tests). *)
+
+val math_of_xml : Xml.t -> (Math.t, string) result

@@ -1,0 +1,279 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+let element ?(attrs = []) tag children = Element (tag, attrs, children)
+let text s = Text s
+
+let tag = function Element (t, _, _) -> Some t | Text _ -> None
+
+let attr name = function
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let children = function Element (_, _, cs) -> cs | Text _ -> []
+
+let child tag node =
+  List.find_opt
+    (function Element (t, _, _) -> String.equal t tag | Text _ -> false)
+    (children node)
+
+let childs tag node =
+  List.filter
+    (function Element (t, _, _) -> String.equal t tag | Text _ -> false)
+    (children node)
+
+let text_content node =
+  let buf = Buffer.create 16 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Element (_, _, cs) -> List.iter go cs
+  in
+  go node;
+  String.trim (Buffer.contents buf)
+
+(* ---- printing ---- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(decl = true) node =
+  let buf = Buffer.create 1024 in
+  if decl then
+    Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  let rec go indent = function
+    | Text s -> Buffer.add_string buf (escape s)
+    | Element (tag, attrs, cs) ->
+        Buffer.add_string buf indent;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf k;
+            Buffer.add_string buf "=\"";
+            Buffer.add_string buf (escape v);
+            Buffer.add_char buf '"')
+          attrs;
+        let only_text =
+          cs <> [] && List.for_all (function Text _ -> true | _ -> false) cs
+        in
+        if cs = [] then Buffer.add_string buf "/>\n"
+        else if only_text then begin
+          Buffer.add_char buf '>';
+          List.iter (go "") cs;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_string buf ">\n"
+        end
+        else begin
+          Buffer.add_string buf ">\n";
+          List.iter (go (indent ^ "  ")) cs;
+          Buffer.add_string buf indent;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_string buf ">\n"
+        end
+  in
+  go "" node;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Fail of int * string
+
+let parse input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (!pos, msg)) in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let looking_at s =
+    let n = String.length s in
+    !pos + n <= len && String.equal (String.sub input !pos n) s
+  in
+  let expect s =
+    if looking_at s then pos := !pos + String.length s
+    else fail (Printf.sprintf "expected %S" s)
+  in
+  let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false in
+  let skip_spaces () =
+    while !pos < len && is_space input.[!pos] do
+      advance ()
+    done
+  in
+  let is_name_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+    | _ -> false
+  in
+  let read_name () =
+    let start = !pos in
+    while !pos < len && is_name_char input.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a name";
+    String.sub input start (!pos - start)
+  in
+  let decode_entities s =
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '&' then begin
+        match String.index_from_opt s !i ';' with
+        | None -> fail "unterminated entity"
+        | Some j ->
+            let name = String.sub s (!i + 1) (j - !i - 1) in
+            let c =
+              match name with
+              | "amp" -> "&"
+              | "lt" -> "<"
+              | "gt" -> ">"
+              | "quot" -> "\""
+              | "apos" -> "'"
+              | _ ->
+                  if String.length name > 1 && name.[0] = '#' then begin
+                    let code =
+                      if name.[1] = 'x' || name.[1] = 'X' then
+                        int_of_string_opt
+                          ("0x" ^ String.sub name 2 (String.length name - 2))
+                      else
+                        int_of_string_opt
+                          (String.sub name 1 (String.length name - 1))
+                    in
+                    match code with
+                    | Some c when c >= 0 && c < 128 ->
+                        String.make 1 (Char.chr c)
+                    | Some _ | None -> fail "unsupported character reference"
+                  end
+                  else fail (Printf.sprintf "unknown entity &%s;" name)
+            in
+            Buffer.add_string buf c;
+            i := j + 1
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let skip_misc () =
+    (* comments, processing instructions, whitespace *)
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      skip_spaces ();
+      if looking_at "<!--" then begin
+        match
+          let rec find i =
+            if i + 3 > len then None
+            else if String.equal (String.sub input i 3) "-->" then Some i
+            else find (i + 1)
+          in
+          find (!pos + 4)
+        with
+        | Some i ->
+            pos := i + 3;
+            progress := true
+        | None -> fail "unterminated comment"
+      end
+      else if looking_at "<?" then begin
+        match String.index_from_opt input !pos '>' with
+        | Some i ->
+            pos := i + 1;
+            progress := true
+        | None -> fail "unterminated processing instruction"
+      end
+    done
+  in
+  let read_attr_value () =
+    let quote =
+      match peek () with
+      | Some (('"' | '\'') as q) ->
+          advance ();
+          q
+      | Some _ | None -> fail "expected quoted attribute value"
+    in
+    let start = !pos in
+    while !pos < len && input.[!pos] <> quote do
+      advance ()
+    done;
+    if !pos >= len then fail "unterminated attribute value";
+    let v = String.sub input start (!pos - start) in
+    advance ();
+    decode_entities v
+  in
+  let rec read_element () =
+    expect "<";
+    let name = read_name () in
+    let rec read_attrs acc =
+      skip_spaces ();
+      match peek () with
+      | Some '/' | Some '>' -> List.rev acc
+      | Some _ ->
+          let k = read_name () in
+          skip_spaces ();
+          expect "=";
+          skip_spaces ();
+          let v = read_attr_value () in
+          read_attrs ((k, v) :: acc)
+      | None -> fail "unterminated start tag"
+    in
+    let attrs = read_attrs [] in
+    if looking_at "/>" then begin
+      expect "/>";
+      Element (name, attrs, [])
+    end
+    else begin
+      expect ">";
+      let children = read_content () in
+      expect "</";
+      let close = read_name () in
+      if not (String.equal close name) then
+        fail (Printf.sprintf "mismatched close tag </%s> for <%s>" close name);
+      skip_spaces ();
+      expect ">";
+      Element (name, attrs, children)
+    end
+  and read_content () =
+    let rec go acc =
+      if looking_at "</" then List.rev acc
+      else if looking_at "<!--" || looking_at "<?" then begin
+        skip_misc ();
+        go acc
+      end
+      else if looking_at "<" then go (read_element () :: acc)
+      else if !pos >= len then fail "unterminated element"
+      else begin
+        let start = !pos in
+        while !pos < len && input.[!pos] <> '<' do
+          advance ()
+        done;
+        let raw = String.sub input start (!pos - start) in
+        let txt = decode_entities raw in
+        if String.trim txt = "" then go acc else go (Text txt :: acc)
+      end
+    in
+    go []
+  in
+  match
+    skip_misc ();
+    let root = read_element () in
+    skip_misc ();
+    if !pos <> len then fail "trailing content after root element";
+    root
+  with
+  | root -> Ok root
+  | exception Fail (p, msg) ->
+      Error (Printf.sprintf "XML parse error at offset %d: %s" p msg)

@@ -1,0 +1,42 @@
+(** Minimal XML tree, printer and parser.
+
+    Supports exactly what the SBML/SBOL subsets need: elements with
+    attributes, text content, the five predefined entities, comments and
+    processing instructions (skipped on input). No namespaces beyond plain
+    prefixed names, no DTDs, no CDATA. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** [Element (tag, attributes, children)] *)
+  | Text of string
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+(** Construction shorthand. *)
+
+val text : string -> t
+
+val tag : t -> string option
+(** [Some tag] for an element, [None] for text. *)
+
+val attr : string -> t -> string option
+(** Attribute lookup on an element; [None] on text nodes or absence. *)
+
+val children : t -> t list
+(** Child nodes of an element; [[]] for text. *)
+
+val child : string -> t -> t option
+(** First child element with the given tag. *)
+
+val childs : string -> t -> t list
+(** All child elements with the given tag, in document order. *)
+
+val text_content : t -> string
+(** Concatenated text beneath a node, trimmed. *)
+
+val to_string : ?decl:bool -> t -> string
+(** Pretty-printed document; [decl] (default [true]) prepends the XML
+    declaration. *)
+
+val parse : string -> (t, string) result
+(** Parses a single-rooted document. The error string contains the
+    position and cause of the first failure. *)

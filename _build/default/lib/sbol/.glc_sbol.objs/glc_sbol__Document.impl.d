@@ -1,0 +1,1 @@
+lib/sbol/document.ml: Buffer Format Hashtbl List Option Printf String

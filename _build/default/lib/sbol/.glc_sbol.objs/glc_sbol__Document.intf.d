@@ -1,0 +1,1 @@
+lib/sbol/document.mli: Format

@@ -1,0 +1,1 @@
+lib/sbol/sbol_xml.ml: Document Fun Glc_model List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/sbol/sbol_xml.mli: Document Glc_model

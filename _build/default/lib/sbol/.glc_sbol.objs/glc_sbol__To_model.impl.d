@@ -1,0 +1,1 @@
+lib/sbol/to_model.ml: Document Glc_model List Printf String

@@ -1,0 +1,1 @@
+lib/sbol/to_model.mli: Document Glc_model

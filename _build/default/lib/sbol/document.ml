@@ -1,0 +1,229 @@
+type role = Promoter | Rbs | Cds | Terminator
+
+type dna_part = { part_id : string; part_role : role; part_name : string }
+
+type protein = { prot_id : string; prot_name : string; prot_reporter : bool }
+
+type interaction =
+  | Production of { prom : string; prot : string }
+  | Repression of { repressor : string; prom : string }
+  | Activation of { activator : string; prom : string }
+
+type t = {
+  doc_id : string;
+  doc_parts : dna_part list;
+  doc_proteins : protein list;
+  doc_interactions : interaction list;
+}
+
+let part ?name role id =
+  {
+    part_id = id;
+    part_role = role;
+    part_name = (match name with Some n -> n | None -> id);
+  }
+
+let protein ?name ?(reporter = false) id =
+  {
+    prot_id = id;
+    prot_name = (match name with Some n -> n | None -> id);
+    prot_reporter = reporter;
+  }
+
+let find_part doc id =
+  List.find_opt (fun p -> String.equal p.part_id id) doc.doc_parts
+
+let find_protein doc id =
+  List.find_opt (fun p -> String.equal p.prot_id id) doc.doc_proteins
+
+let duplicates ids =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun id ->
+      if Hashtbl.mem seen id then Some id
+      else begin
+        Hashtbl.replace seen id ();
+        None
+      end)
+    ids
+
+let validate doc =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  List.iter
+    (err "duplicate part id %S")
+    (duplicates (List.map (fun p -> p.part_id) doc.doc_parts));
+  List.iter
+    (err "duplicate protein id %S")
+    (duplicates (List.map (fun p -> p.prot_id) doc.doc_proteins));
+  let check_promoter ctx id =
+    match find_part doc id with
+    | None -> err "%s references unknown part %S" ctx id
+    | Some { part_role = Promoter; _ } -> ()
+    | Some _ -> err "%s: part %S is not a promoter" ctx id
+  in
+  let check_protein ctx id =
+    if find_protein doc id = None then
+      err "%s references unknown protein %S" ctx id
+  in
+  List.iter
+    (function
+      | Production { prom; prot } ->
+          check_promoter "production" prom;
+          check_protein "production" prot
+      | Repression { repressor; prom } ->
+          check_protein "repression" repressor;
+          check_promoter "repression" prom
+      | Activation { activator; prom } ->
+          check_protein "activation" activator;
+          check_promoter "activation" prom)
+    doc.doc_interactions;
+  let production_counts = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Production { prom; _ } ->
+          Hashtbl.replace production_counts prom
+            (1 + Option.value ~default:0 (Hashtbl.find_opt production_counts prom))
+      | Repression _ | Activation _ -> ())
+    doc.doc_interactions;
+  Hashtbl.iter
+    (fun prom n ->
+      if n > 1 then err "promoter %S has %d production interactions" prom n)
+    production_counts;
+  List.rev !errs
+
+let make ~id ~parts ~proteins ~interactions =
+  let doc =
+    {
+      doc_id = id;
+      doc_parts = parts;
+      doc_proteins = proteins;
+      doc_interactions = interactions;
+    }
+  in
+  match validate doc with
+  | [] -> doc
+  | errs ->
+      invalid_arg
+        (Printf.sprintf "Document.make %S: %s" id (String.concat "; " errs))
+
+let producers doc prot =
+  List.filter_map
+    (function
+      | Production { prom; prot = p } when String.equal p prot -> Some prom
+      | Production _ | Repression _ | Activation _ -> None)
+    doc.doc_interactions
+
+let regulators doc prom =
+  List.filter_map
+    (function
+      | Repression { repressor; prom = p } when String.equal p prom ->
+          Some (`Repressor repressor)
+      | Activation { activator; prom = p } when String.equal p prom ->
+          Some (`Activator activator)
+      | Production _ | Repression _ | Activation _ -> None)
+    doc.doc_interactions
+
+let production doc prom =
+  List.find_map
+    (function
+      | Production { prom = p; prot } when String.equal p prom -> Some prot
+      | Production _ | Repression _ | Activation _ -> None)
+    doc.doc_interactions
+
+let input_proteins doc =
+  List.filter_map
+    (fun p -> if producers doc p.prot_id = [] then Some p.prot_id else None)
+    doc.doc_proteins
+
+let output_proteins doc =
+  let reporters =
+    List.filter_map
+      (fun p -> if p.prot_reporter then Some p.prot_id else None)
+      doc.doc_proteins
+  in
+  if reporters <> [] then reporters
+  else
+    let regulates prot =
+      List.exists
+        (function
+          | Repression { repressor; _ } -> String.equal repressor prot
+          | Activation { activator; _ } -> String.equal activator prot
+          | Production _ -> false)
+        doc.doc_interactions
+    in
+    List.filter_map
+      (fun p -> if regulates p.prot_id then None else Some p.prot_id)
+      doc.doc_proteins
+
+let to_dot doc =
+  let buf = Buffer.create 1024 in
+  let inputs = input_proteins doc in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" doc.doc_id);
+  Buffer.add_string buf "  rankdir=LR;\n";
+  List.iter
+    (fun p ->
+      match p.part_role with
+      | Promoter ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %S [shape=box, style=rounded];\n" p.part_id)
+      | Rbs | Cds | Terminator -> ())
+    doc.doc_parts;
+  List.iter
+    (fun p ->
+      let attrs =
+        if p.prot_reporter then "shape=doublecircle"
+        else if List.mem p.prot_id inputs then
+          "shape=ellipse, style=filled, fillcolor=lightgrey"
+        else "shape=ellipse"
+      in
+      Buffer.add_string buf (Printf.sprintf "  %S [%s];\n" p.prot_id attrs))
+    doc.doc_proteins;
+  List.iter
+    (fun i ->
+      match i with
+      | Production { prom; prot } ->
+          Buffer.add_string buf (Printf.sprintf "  %S -> %S;\n" prom prot)
+      | Repression { repressor; prom } ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %S -> %S [arrowhead=tee, color=red];\n"
+               repressor prom)
+      | Activation { activator; prom } ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %S -> %S [arrowhead=empty, color=blue];\n"
+               activator prom))
+    doc.doc_interactions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_role ppf = function
+  | Promoter -> Format.pp_print_string ppf "promoter"
+  | Rbs -> Format.pp_print_string ppf "RBS"
+  | Cds -> Format.pp_print_string ppf "CDS"
+  | Terminator -> Format.pp_print_string ppf "terminator"
+
+let pp ppf doc =
+  Format.fprintf ppf "@[<v>document %s: %d parts, %d proteins, %d interactions"
+    doc.doc_id
+    (List.length doc.doc_parts)
+    (List.length doc.doc_proteins)
+    (List.length doc.doc_interactions);
+  List.iter
+    (fun p -> Format.fprintf ppf "@,  part %s (%a)" p.part_id pp_role p.part_role)
+    doc.doc_parts;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@,  protein %s%s" p.prot_id
+        (if p.prot_reporter then " (reporter)" else ""))
+    doc.doc_proteins;
+  List.iter
+    (fun i ->
+      match i with
+      | Production { prom; prot } ->
+          Format.fprintf ppf "@,  %s produces %s" prom prot
+      | Repression { repressor; prom } ->
+          Format.fprintf ppf "@,  %s represses %s" repressor prom
+      | Activation { activator; prom } ->
+          Format.fprintf ppf "@,  %s activates %s" activator prom)
+    doc.doc_interactions;
+  Format.fprintf ppf "@]"

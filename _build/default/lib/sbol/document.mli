@@ -1,0 +1,81 @@
+(** Structural (SBOL-style) descriptions of genetic circuits.
+
+    SBOL describes a circuit's composition — DNA parts and the molecular
+    interactions between them — but not its behaviour (no kinetics). Cello
+    emits such descriptions; the converter of Roehner et al. turns them
+    into behavioural SBML models. This module is the structural side:
+    {!To_model} is the converter.
+
+    The subset kept here is what genetic logic circuits need: promoters,
+    ribosome binding sites, coding sequences and terminators on the DNA
+    side; proteins on the species side; and production, repression and
+    activation interactions. *)
+
+type role = Promoter | Rbs | Cds | Terminator
+
+type dna_part = { part_id : string; part_role : role; part_name : string }
+
+type protein = {
+  prot_id : string;
+  prot_name : string;
+  prot_reporter : bool;
+      (** reporters (GFP, YFP, RFP) are the observable outputs *)
+}
+
+type interaction =
+  | Production of { prom : string; prot : string }
+      (** promoter [prom] transcribes a gene whose product is [prot] *)
+  | Repression of { repressor : string; prom : string }
+      (** protein [repressor] represses promoter [prom] *)
+  | Activation of { activator : string; prom : string }
+
+type t = {
+  doc_id : string;
+  doc_parts : dna_part list;
+  doc_proteins : protein list;
+  doc_interactions : interaction list;
+}
+
+val part : ?name:string -> role -> string -> dna_part
+val protein : ?name:string -> ?reporter:bool -> string -> protein
+
+val make :
+  id:string ->
+  parts:dna_part list ->
+  proteins:protein list ->
+  interactions:interaction list ->
+  t
+(** @raise Invalid_argument when {!validate} reports errors. *)
+
+val validate : t -> string list
+(** Diagnostics: duplicate ids, interactions referencing unknown parts or
+    proteins, production from a non-promoter part, several productions on
+    one promoter. Empty means valid. *)
+
+val find_part : t -> string -> dna_part option
+val find_protein : t -> string -> protein option
+
+val producers : t -> string -> string list
+(** [producers doc prot] lists the promoters producing protein [prot]. *)
+
+val regulators : t -> string -> [ `Repressor of string | `Activator of string ] list
+(** Regulating proteins of a promoter, in declaration order. *)
+
+val production : t -> string -> string option
+(** [production doc prom] is the protein produced by promoter [prom]. *)
+
+val input_proteins : t -> string list
+(** Proteins that no promoter produces — the circuit's external inputs,
+    driven by the virtual laboratory. *)
+
+val output_proteins : t -> string list
+(** Reporter proteins, or (if none is flagged) proteins that regulate no
+    promoter. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string
+(** Graphviz rendering of the regulatory network: promoters as boxes,
+    proteins as ellipses (inputs shaded, reporters doubled), production
+    as solid arrows, repression as tee-headed edges, activation as open
+    arrows. Feed to [dot -Tsvg]. *)

@@ -1,0 +1,25 @@
+(** XML serialisation of structural circuit documents.
+
+    A flat, readable subset standing in for SBOL's RDF/XML (which layers
+    RDF machinery this toolchain does not need):
+
+    {v
+    <sbol id="0x0B">
+      <part id="pTac" role="promoter"/>
+      <protein id="LacI"/>
+      <protein id="YFP" reporter="true"/>
+      <production promoter="pTac" protein="PhlF"/>
+      <repression repressor="LacI" promoter="pTac"/>
+    </sbol>
+    v} *)
+
+module Xml := Glc_model.Xml
+
+val to_xml : Document.t -> Xml.t
+val to_string : Document.t -> string
+
+val of_xml : Xml.t -> (Document.t, string) result
+val of_string : string -> (Document.t, string) result
+
+val write_file : string -> Document.t -> unit
+val read_file : string -> (Document.t, string) result

@@ -1,0 +1,116 @@
+module Model = Glc_model.Model
+module Math = Glc_model.Math
+
+type kinetics = { ymax : float; ymin : float; k : float; n : float }
+
+let default_kinetics = { ymax = 5.0; ymin = 0.05; k = 12.0; n = 2.5 }
+let default_degradation = 0.05
+
+let convert ?kinetics ?affinity ?degradation ?initial (doc : Document.t) =
+  (match Document.validate doc with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (Printf.sprintf "To_model.convert: %s" (String.concat "; " errs)));
+  let kinetics =
+    match kinetics with Some f -> f | None -> fun _ -> default_kinetics
+  in
+  let affinity = match affinity with Some f -> f | None -> fun _ -> None in
+  let degradation =
+    match degradation with Some f -> f | None -> fun _ -> default_degradation
+  in
+  let initial = match initial with Some f -> f | None -> fun _ -> 0. in
+  let inputs = Document.input_proteins doc in
+  let species =
+    List.map
+      (fun (p : Document.protein) ->
+        Model.species ~name:p.prot_name
+          ~boundary:(List.mem p.prot_id inputs)
+          p.prot_id (initial p.prot_id))
+      doc.doc_proteins
+  in
+  (* One production reaction per producing promoter. Parameters are
+     emitted per promoter / regulator so the SBML output is
+     self-describing. *)
+  let parameters = ref [] in
+  let param id v =
+    parameters := Model.parameter id v :: !parameters;
+    Math.var id
+  in
+  let productions =
+    List.filter_map
+      (fun (part : Document.dna_part) ->
+        match (part.part_role, Document.production doc part.part_id) with
+        | Document.Promoter, Some prot ->
+            let prom = part.part_id in
+            let kin = kinetics prom in
+            let regulators = Document.regulators doc prom in
+            let rate =
+              if regulators = [] then param (prom ^ "_ymax") kin.ymax
+              else begin
+                let ymax = param (prom ^ "_ymax") kin.ymax in
+                let ymin = param (prom ^ "_ymin") kin.ymin in
+                let factor regulator =
+                  let protein, repressing =
+                    match regulator with
+                    | `Repressor r -> (r, true)
+                    | `Activator a -> (a, false)
+                  in
+                  let k_val, n_val =
+                    match affinity protein with
+                    | Some (k, n) -> (k, n)
+                    | None -> (kin.k, kin.n)
+                  in
+                  let suffix = if repressing then "r" else "a" in
+                  let k =
+                    param (prom ^ "_" ^ protein ^ "_K" ^ suffix) k_val
+                  in
+                  let n =
+                    param (prom ^ "_" ^ protein ^ "_n" ^ suffix) n_val
+                  in
+                  let kn = Math.(k ** n) in
+                  let xn = Math.(var protein ** n) in
+                  if repressing then Math.(kn / (kn + xn))
+                  else Math.(xn / (kn + xn))
+                in
+                let product =
+                  match List.map factor regulators with
+                  | [] -> assert false
+                  | f :: fs -> List.fold_left Math.( * ) f fs
+                in
+                Math.(ymin + ((ymax - ymin) * product))
+              end
+            in
+            let modifiers =
+              List.sort_uniq String.compare
+                (List.map
+                   (function `Repressor r -> r | `Activator a -> a)
+                   regulators)
+            in
+            Some
+              (Model.reaction
+                 ~products:[ (prot, 1) ]
+                 ~modifiers ~rate ("prod_" ^ prom))
+        | (Document.Promoter | Document.Rbs | Document.Cds
+          | Document.Terminator), _ ->
+            None)
+      doc.doc_parts
+  in
+  let degradations =
+    List.filter_map
+      (fun (p : Document.protein) ->
+        if List.mem p.prot_id inputs then None
+        else begin
+          let gamma = param (p.prot_id ^ "_deg") (degradation p.prot_id) in
+          Some
+            (Model.reaction
+               ~reactants:[ (p.prot_id, 1) ]
+               ~rate:Math.(gamma * var p.prot_id)
+               ("deg_" ^ p.prot_id))
+        end)
+      doc.doc_proteins
+  in
+  Model.make ~id:doc.doc_id ~species
+    ~parameters:(List.rev !parameters)
+    ~reactions:(productions @ degradations)
+    ()

@@ -1,0 +1,54 @@
+(** SBOL-to-kinetic-model conversion (after Roehner et al., ACS Synth.
+    Biol. 2015).
+
+    SBOL carries no behaviour, so the converter supplies reaction
+    kinetics: each producing promoter becomes one production reaction
+    whose propensity is a thermodynamic occupancy model of its operator
+    sites, and every produced protein gets a first-order degradation
+    reaction. Input proteins (produced by no promoter) become boundary
+    species that the virtual laboratory clamps.
+
+    The propensity of a promoter with regulators [r1 .. rk] is
+
+    [ymin + (ymax - ymin) * product of per-regulator factors]
+
+    where a repressor [r] contributes [K^n / (K^n + r^n)] and an
+    activator contributes [r^n / (K^n + r^n)] — independent binding
+    sites, so tandem repression multiplies. Transcription strength
+    ([ymax], [ymin]) is a property of the {e promoter}; binding affinity
+    ([K], [n]) is a property of the {e regulator protein} (supplied via
+    [affinity], falling back to the promoter's default). A promoter with
+    no regulators is constitutive at [ymax]. *)
+
+module Model := Glc_model.Model
+
+type kinetics = {
+  ymax : float;  (** maximal production propensity, molecules per t.u. *)
+  ymin : float;  (** leaky production propensity *)
+  k : float;  (** default regulator half-response amount, molecules *)
+  n : float;  (** default Hill coefficient *)
+}
+
+val default_kinetics : kinetics
+(** [ymax = 5.0], [ymin = 0.05], [k = 12.0], [n = 2.5] — molecule-count
+    scaled from the response ranges in Nielsen et al. (Science 2016);
+    with the default degradation [0.05] a fully active promoter settles
+    near 100 molecules and a repressed one near 1, bracketing the paper's
+    15-molecule threshold with a 5-7x margin on both sides. *)
+
+val default_degradation : float
+
+val convert :
+  ?kinetics:(string -> kinetics) ->
+  ?affinity:(string -> (float * float) option) ->
+  ?degradation:(string -> float) ->
+  ?initial:(string -> float) ->
+  Document.t ->
+  Model.t
+(** [convert doc] builds the kinetic model. [kinetics] maps a promoter id
+    to its parameters (default: {!default_kinetics} for all); [affinity]
+    maps a regulator protein id to its binding [(K, n)] (default: the
+    regulated promoter's [k], [n]); [degradation] maps a protein id to
+    its decay rate; [initial] maps a protein id to its initial amount
+    (default 0).
+    @raise Invalid_argument if [doc] fails {!Document.validate}. *)

@@ -1,0 +1,1 @@
+lib/ssa/compiled.ml: Array Float Glc_model Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/ssa/compiled.mli: Glc_model

@@ -1,0 +1,1 @@
+lib/ssa/indexed_heap.mli:

@@ -1,0 +1,1 @@
+lib/ssa/ode.ml: Array Compiled Events Float List Printf Trace

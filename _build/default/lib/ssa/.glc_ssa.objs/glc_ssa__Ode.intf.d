@@ -1,0 +1,1 @@
+lib/ssa/ode.mli: Compiled Events Glc_model Trace

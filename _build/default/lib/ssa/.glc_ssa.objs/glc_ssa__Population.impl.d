@@ -1,0 +1,1 @@
+lib/ssa/population.ml: Array Compiled List Sim Trace

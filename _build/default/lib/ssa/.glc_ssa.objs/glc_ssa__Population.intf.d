@@ -1,0 +1,1 @@
+lib/ssa/population.mli: Events Glc_model Sim Trace

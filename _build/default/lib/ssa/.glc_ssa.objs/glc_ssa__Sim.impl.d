@@ -1,0 +1,1 @@
+lib/ssa/sim.ml: Array Compiled Events Float Glc_model Indexed_heap List Printf Rng Trace

@@ -1,0 +1,1 @@
+lib/ssa/sim.mli: Compiled Events Glc_model Trace

@@ -1,0 +1,1 @@
+lib/ssa/trace.ml: Array Buffer Float Fun List Option Printf String

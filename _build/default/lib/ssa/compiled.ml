@@ -1,0 +1,136 @@
+module Model = Glc_model.Model
+module Math = Glc_model.Math
+
+type reaction = {
+  c_id : string;
+  c_deltas : (int * float) list;
+  c_propensity : float array -> float;
+  c_reads : int list;
+}
+
+type t = {
+  c_model : Model.t;
+  c_names : string array;
+  c_initial : float array;
+  c_boundary : bool array;
+  c_reactions : reaction array;
+  c_dependents : int list array;
+}
+
+(* Compile a kinetic law to a closure over the state vector. Parameters
+   are substituted by their constant values first, so only species remain. *)
+let compile_rate (m : Model.t) index (rate : Math.t) =
+  let rate =
+    Math.subst
+      (fun id ->
+        match Model.parameter_value m id with
+        | Some v -> Some (Math.Const v)
+        | None -> None)
+      rate
+  in
+  let reads =
+    List.filter_map (fun id -> Hashtbl.find_opt index id) (Math.idents rate)
+    |> List.sort_uniq Int.compare
+  in
+  let rec build : Math.t -> float array -> float = function
+    | Const c -> fun _ -> c
+    | Ident id -> (
+        match Hashtbl.find_opt index id with
+        | Some i -> fun state -> state.(i)
+        | None -> assert false (* validate rejects unknown identifiers *))
+    | Neg a ->
+        let fa = build a in
+        fun s -> -.fa s
+    | Add (a, b) ->
+        let fa = build a and fb = build b in
+        fun s -> fa s +. fb s
+    | Sub (a, b) ->
+        let fa = build a and fb = build b in
+        fun s -> fa s -. fb s
+    | Mul (a, b) ->
+        let fa = build a and fb = build b in
+        fun s -> fa s *. fb s
+    | Div (a, b) ->
+        let fa = build a and fb = build b in
+        fun s -> fa s /. fb s
+    | Pow (a, b) ->
+        let fa = build a and fb = build b in
+        fun s -> Float.pow (fa s) (fb s)
+    | Min (a, b) ->
+        let fa = build a and fb = build b in
+        fun s -> Float.min (fa s) (fb s)
+    | Max (a, b) ->
+        let fa = build a and fb = build b in
+        fun s -> Float.max (fa s) (fb s)
+    | Exp a ->
+        let fa = build a in
+        fun s -> Float.exp (fa s)
+    | Ln a ->
+        let fa = build a in
+        fun s -> Float.log (fa s)
+  in
+  (build rate, reads)
+
+let compile (m : Model.t) =
+  (match Model.validate m with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (Printf.sprintf "Compiled.compile: %s" (String.concat "; " errs)));
+  let species = Array.of_list m.m_species in
+  let names = Array.map (fun (s : Model.species) -> s.s_id) species in
+  let index = Hashtbl.create 32 in
+  Array.iteri (fun i id -> Hashtbl.replace index id i) names;
+  let reactions =
+    Array.of_list
+      (List.map
+         (fun (r : Model.reaction) ->
+           let deltas = Hashtbl.create 8 in
+           let add sign (id, st) =
+             let i = Hashtbl.find index id in
+             let d = Option.value ~default:0. (Hashtbl.find_opt deltas i) in
+             Hashtbl.replace deltas i (d +. (sign *. float_of_int st))
+           in
+           List.iter (add (-1.)) r.r_reactants;
+           List.iter (add 1.) r.r_products;
+           let c_deltas =
+             Hashtbl.fold (fun i d acc -> (i, d) :: acc) deltas []
+             |> List.filter (fun (_, d) -> d <> 0.)
+             |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+           in
+           let c_propensity, c_reads = compile_rate m index r.r_rate in
+           { c_id = r.r_id; c_deltas; c_propensity; c_reads })
+         m.m_reactions)
+  in
+  let dependents = Array.make (Array.length species) [] in
+  Array.iteri
+    (fun ri r ->
+      List.iter (fun s -> dependents.(s) <- ri :: dependents.(s)) r.c_reads)
+    reactions;
+  Array.iteri (fun s l -> dependents.(s) <- List.rev l) dependents;
+  {
+    c_model = m;
+    c_names = names;
+    c_initial = Array.map (fun (s : Model.species) -> s.s_initial) species;
+    c_boundary =
+      Array.map (fun (s : Model.species) -> s.s_boundary) species;
+    c_reactions = reactions;
+    c_dependents = dependents;
+  }
+
+let species_index t id =
+  let n = Array.length t.c_names in
+  let rec find i =
+    if i >= n then raise Not_found
+    else if String.equal t.c_names.(i) id then i
+    else find (i + 1)
+  in
+  find 0
+
+let propensities t state =
+  Array.map (fun r -> Float.max 0. (r.c_propensity state)) t.c_reactions
+
+let affected_reactions t ri =
+  let r = t.c_reactions.(ri) in
+  List.concat_map (fun (s, _) -> t.c_dependents.(s)) r.c_deltas
+  |> List.sort_uniq Int.compare

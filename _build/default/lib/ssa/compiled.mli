@@ -1,0 +1,41 @@
+(** Models compiled for simulation.
+
+    Species are resolved to dense indices, parameters are folded into the
+    kinetic laws, and each law becomes a closure over the state vector, so
+    the simulator's inner loop does no name resolution. *)
+
+module Model := Glc_model.Model
+
+type reaction = {
+  c_id : string;
+  c_deltas : (int * float) list;
+      (** net state change: species index, signed amount *)
+  c_propensity : float array -> float;
+  c_reads : int list;  (** species indices the propensity depends on *)
+}
+
+type t = {
+  c_model : Model.t;
+  c_names : string array;  (** species ids, index = state position *)
+  c_initial : float array;
+  c_boundary : bool array;
+  c_reactions : reaction array;
+  c_dependents : int list array;
+      (** [c_dependents.(s)] lists reactions whose propensity reads
+          species [s] *)
+}
+
+val compile : Model.t -> t
+(** @raise Invalid_argument if the model fails {!Model.validate}. *)
+
+val species_index : t -> string -> int
+(** @raise Not_found for unknown ids. *)
+
+val propensities : t -> float array -> float array
+(** All reaction propensities in the given state; negative values are
+    clamped to zero (a kinetic law may dip below zero transiently in
+    ill-parameterised models). *)
+
+val affected_reactions : t -> int -> int list
+(** Reactions whose propensity may change when the given reaction fires
+    (including itself if it reads a species it writes). *)

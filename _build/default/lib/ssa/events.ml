@@ -1,0 +1,21 @@
+type event = { e_time : float; e_species : string; e_value : float }
+
+type schedule = event list (* sorted by time, stable *)
+
+let empty = []
+let set t id v = { e_time = t; e_species = id; e_value = v }
+
+let of_list evs =
+  List.stable_sort (fun a b -> Float.compare a.e_time b.e_time) evs
+
+let to_list s = s
+
+let next = function [] -> None | e :: rest -> Some (e, rest)
+
+let next_time = function [] -> infinity | e :: _ -> e.e_time
+
+let rec merge a b =
+  match (a, b) with
+  | [], s | s, [] -> s
+  | x :: xs, y :: ys ->
+      if x.e_time <= y.e_time then x :: merge xs b else y :: merge a ys

@@ -1,0 +1,32 @@
+(** Timed interventions on species amounts.
+
+    The virtual laboratory drives a circuit's input species by clamping
+    them to "high" or "low" amounts at scheduled times — the genetic
+    analogue of a stimulus generator in an electronic test bench. *)
+
+type event = {
+  e_time : float;
+  e_species : string;
+  e_value : float;  (** absolute amount the species is set to *)
+}
+
+type schedule
+
+val empty : schedule
+
+val set : float -> string -> float -> event
+(** [set t id v]: at time [t], species [id] becomes [v] molecules. *)
+
+val of_list : event list -> schedule
+(** Orders events by time (stable for equal times). *)
+
+val to_list : schedule -> event list
+(** Events in firing order. *)
+
+val next : schedule -> (event * schedule) option
+(** Earliest event and the remaining schedule. *)
+
+val next_time : schedule -> float
+(** Time of the earliest event, or [infinity] if none. *)
+
+val merge : schedule -> schedule -> schedule

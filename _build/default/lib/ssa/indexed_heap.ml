@@ -1,0 +1,71 @@
+type t = {
+  keys : float array; (* keyed by id *)
+  heap : int array; (* heap positions hold ids *)
+  pos : int array; (* pos.(id) = position in heap *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Indexed_heap.create: negative size";
+  {
+    keys = Array.make n infinity;
+    heap = Array.init n (fun i -> i);
+    pos = Array.init n (fun i -> i);
+  }
+
+let size h = Array.length h.keys
+
+let key h id =
+  if id < 0 || id >= size h then invalid_arg "Indexed_heap.key: bad id";
+  h.keys.(id)
+
+let swap h i j =
+  let a = h.heap.(i) and b = h.heap.(j) in
+  h.heap.(i) <- b;
+  h.heap.(j) <- a;
+  h.pos.(a) <- j;
+  h.pos.(b) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(h.heap.(i)) < h.keys.(h.heap.(parent)) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = Array.length h.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && h.keys.(h.heap.(l)) < h.keys.(h.heap.(!smallest)) then
+    smallest := l;
+  if r < n && h.keys.(h.heap.(r)) < h.keys.(h.heap.(!smallest)) then
+    smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let update h id k =
+  if id < 0 || id >= size h then invalid_arg "Indexed_heap.update: bad id";
+  let old = h.keys.(id) in
+  h.keys.(id) <- k;
+  if k < old then sift_up h h.pos.(id) else sift_down h h.pos.(id)
+
+let min h =
+  if size h = 0 then invalid_arg "Indexed_heap.min: empty heap";
+  let id = h.heap.(0) in
+  (id, h.keys.(id))
+
+let is_valid h =
+  let n = Array.length h.heap in
+  let ok = ref true in
+  for i = 1 to n - 1 do
+    let parent = (i - 1) / 2 in
+    if h.keys.(h.heap.(parent)) > h.keys.(h.heap.(i)) then ok := false
+  done;
+  for id = 0 to n - 1 do
+    if h.heap.(h.pos.(id)) <> id then ok := false
+  done;
+  !ok

@@ -1,0 +1,28 @@
+(** Indexed binary min-heap over float keys.
+
+    Backbone of the Gibson–Bruck next-reaction method: every reaction owns
+    a fixed integer id whose tentative firing time can be updated in
+    O(log n) when a dependency changes. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds a heap over ids [0 .. n-1], all with key
+    [infinity]. *)
+
+val size : t -> int
+(** Number of ids (fixed at creation). *)
+
+val key : t -> int -> float
+(** Current key of an id. *)
+
+val update : t -> int -> float -> unit
+(** [update h id k] changes the key of [id] to [k], restoring heap order.
+    @raise Invalid_argument if [id] is out of range. *)
+
+val min : t -> int * float
+(** Id and key of the minimum element.
+    @raise Invalid_argument on an empty heap. *)
+
+val is_valid : t -> bool
+(** Heap-order invariant check (for tests). *)

@@ -1,0 +1,22 @@
+(** Cell-population simulation.
+
+    A plate reader measures the aggregate fluorescence of thousands of
+    cells, not a single stochastic trajectory; the paper's single-cell
+    traces are the worst case for the analysis algorithm. This module
+    simulates [cells] statistically independent copies of a circuit
+    (same model, same stimuli, independent noise) and reports both the
+    per-cell traces and their sample-wise mean — the population signal a
+    laboratory would log. *)
+
+module Model := Glc_model.Model
+
+val run :
+  ?events:Events.schedule -> cells:int -> Sim.config -> Model.t ->
+  Trace.t * Trace.t list
+(** [(mean, per_cell)] — cell [i] uses a seed derived from
+    [config.seed] and [i], so a population is exactly reproducible.
+    @raise Invalid_argument if [cells <= 0]. *)
+
+val mean_of : Trace.t list -> Trace.t
+(** Sample-wise average of equally shaped traces.
+    @raise Invalid_argument on an empty list or mismatched shapes. *)

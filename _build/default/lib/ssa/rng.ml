@@ -1,0 +1,85 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64;
+           mutable s3 : int64 }
+
+(* splitmix64: expands a single seed into the four xoshiro words. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let float t =
+  (* top 53 bits *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_pos t = 1.0 -. float t
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let v = r mod bound in
+    if r - v > (max_int lsr 2) - bound + 1 then draw () else v
+  in
+  draw ()
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate <= 0";
+  -.Float.log (float_pos t) /. rate
+
+let gaussian t =
+  let u1 = float_pos t and u2 = float t in
+  Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+
+let poisson t ~mean =
+  if mean < 0. then invalid_arg "Rng.poisson: mean < 0";
+  if mean = 0. then 0
+  else if mean < 30. then begin
+    (* Knuth: multiply uniforms until the product drops below e^-mean. *)
+    let limit = Float.exp (-.mean) in
+    let rec go k p =
+      let p = p *. float t in
+      if p <= limit then k else go (k + 1) p
+    in
+    go 0 1.
+  end
+  else
+    let x = mean +. (Float.sqrt mean *. gaussian t) in
+    int_of_float (Float.max 0. (Float.round x))

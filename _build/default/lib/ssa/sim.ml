@@ -1,0 +1,352 @@
+module Model = Glc_model.Model
+
+type algorithm =
+  | Direct
+  | Next_reaction
+  | Tau_leaping of { epsilon : float }
+
+type config = {
+  t0 : float;
+  t_end : float;
+  dt : float;
+  seed : int;
+  algorithm : algorithm;
+}
+
+let config ?(t0 = 0.) ?(dt = 1.) ?(seed = 42) ?(algorithm = Direct) ~t_end ()
+    =
+  if t_end < t0 then invalid_arg "Sim.config: t_end < t0";
+  if dt <= 0. then invalid_arg "Sim.config: dt <= 0";
+  { t0; t_end; dt; seed; algorithm }
+
+type stats = {
+  reactions_fired : int;
+  events_applied : int;
+  final_state : (string * float) list;
+}
+
+(* Applies every event scheduled at the head time; returns that time, the
+   remaining schedule and the number applied. *)
+let apply_events_at (c : Compiled.t) state schedule =
+  match Events.next schedule with
+  | None -> None
+  | Some (first, _) ->
+      let t = first.Events.e_time in
+      let rec go n schedule =
+        match Events.next schedule with
+        | Some (e, rest) when e.Events.e_time = t ->
+            (match Compiled.species_index c e.e_species with
+            | i -> state.(i) <- Float.max 0. e.e_value
+            | exception Not_found ->
+                invalid_arg
+                  (Printf.sprintf "Sim: event on unknown species %S"
+                     e.e_species));
+            go (n + 1) rest
+        | Some _ | None -> (n, schedule)
+      in
+      let n, rest = go 0 schedule in
+      Some (t, n, rest)
+
+let fire (c : Compiled.t) state mu =
+  List.iter
+    (fun (i, d) -> state.(i) <- Float.max 0. (state.(i) +. d))
+    c.c_reactions.(mu).c_deltas
+
+let sum = Array.fold_left ( +. ) 0.
+
+(* Selects a reaction index from propensities [a] given a uniform draw
+   scaled by their sum. *)
+let select a target =
+  let n = Array.length a in
+  let rec go i acc =
+    if i >= n - 1 then i
+    else
+      let acc = acc +. a.(i) in
+      if target < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let run_direct rng (c : Compiled.t) cfg events recorder =
+  let state = Array.copy c.c_initial in
+  let fired = ref 0 and applied = ref 0 in
+  Trace.Recorder.observe recorder cfg.t0 state;
+  let rec loop t events =
+    if t < cfg.t_end then begin
+      let a = Compiled.propensities c state in
+      let a0 = sum a in
+      let t_ev = Events.next_time events in
+      if a0 <= 0. then begin
+        (* Nothing can fire: jump to the next intervention, if any. *)
+        if t_ev <= cfg.t_end then begin
+          match apply_events_at c state events with
+          | Some (te, n, rest) ->
+              applied := !applied + n;
+              Trace.Recorder.observe recorder te state;
+              loop te rest
+          | None -> ()
+        end
+      end
+      else begin
+        let tau = Rng.exponential rng ~rate:a0 in
+        let t' = t +. tau in
+        if t' >= t_ev && t_ev <= cfg.t_end then begin
+          match apply_events_at c state events with
+          | Some (te, n, rest) ->
+              applied := !applied + n;
+              Trace.Recorder.observe recorder te state;
+              loop te rest
+          | None -> assert false (* t_ev finite implies an event exists *)
+        end
+        else if t' < cfg.t_end then begin
+          let mu = select a (Rng.float rng *. a0) in
+          fire c state mu;
+          incr fired;
+          Trace.Recorder.observe recorder t' state;
+          loop t' events
+        end
+      end
+    end
+  in
+  (* Interventions scheduled at or before t0 initialise the state. *)
+  let rec catch_up events =
+    match Events.next events with
+    | Some (e, _) when e.Events.e_time <= cfg.t0 -> (
+        match apply_events_at c state events with
+        | Some (_, n, rest) ->
+            applied := !applied + n;
+            catch_up rest
+        | None -> events)
+    | Some _ | None -> events
+  in
+  let events = catch_up events in
+  Trace.Recorder.observe recorder cfg.t0 state;
+  loop cfg.t0 events;
+  (state, !fired, !applied)
+
+let run_next_reaction rng (c : Compiled.t) cfg events recorder =
+  let state = Array.copy c.c_initial in
+  let fired = ref 0 and applied = ref 0 in
+  let n = Array.length c.c_reactions in
+  let heap = Indexed_heap.create n in
+  let a = Array.make n 0. in
+  let draw_time t ai =
+    if ai <= 0. then infinity else t +. Rng.exponential rng ~rate:ai
+  in
+  let redraw_all t =
+    for i = 0 to n - 1 do
+      a.(i) <- Float.max 0. (c.c_reactions.(i).c_propensity state);
+      Indexed_heap.update heap i (draw_time t a.(i))
+    done
+  in
+  let rec catch_up events =
+    match Events.next events with
+    | Some (e, _) when e.Events.e_time <= cfg.t0 -> (
+        match apply_events_at c state events with
+        | Some (_, m, rest) ->
+            applied := !applied + m;
+            catch_up rest
+        | None -> events)
+    | Some _ | None -> events
+  in
+  let events = catch_up events in
+  Trace.Recorder.observe recorder cfg.t0 state;
+  redraw_all cfg.t0;
+  let rec loop events =
+    let mu, t_mu = Indexed_heap.min heap in
+    let t_ev = Events.next_time events in
+    if Float.min t_mu t_ev >= cfg.t_end then ()
+    else if t_ev <= t_mu then begin
+      match apply_events_at c state events with
+      | Some (te, m, rest) ->
+          applied := !applied + m;
+          Trace.Recorder.observe recorder te state;
+          (* Exponential memorylessness makes redrawing every clock after
+             an intervention statistically exact. *)
+          redraw_all te;
+          loop rest
+      | None -> assert false
+    end
+    else begin
+      fire c state mu;
+      incr fired;
+      Trace.Recorder.observe recorder t_mu state;
+      (* The fired reaction always draws a fresh clock, even when its
+         propensity does not depend on anything it changed (a pure birth
+         reaction, say) — otherwise its old firing time would stay at the
+         heap minimum and time would stop advancing. *)
+      let affected = Compiled.affected_reactions c mu in
+      let affected =
+        if List.mem mu affected then affected else mu :: affected
+      in
+      List.iter
+        (fun j ->
+          let aj_old = a.(j) in
+          let aj_new =
+            Float.max 0. (c.c_reactions.(j).c_propensity state)
+          in
+          a.(j) <- aj_new;
+          if j = mu then Indexed_heap.update heap j (draw_time t_mu aj_new)
+          else begin
+            let tj = Indexed_heap.key heap j in
+            let tj' =
+              if aj_new <= 0. then infinity
+              else if aj_old <= 0. || tj = infinity then
+                draw_time t_mu aj_new
+              else t_mu +. (aj_old /. aj_new *. (tj -. t_mu))
+            in
+            Indexed_heap.update heap j tj'
+          end)
+        affected;
+      loop events
+    end
+  in
+  loop events;
+  (state, !fired, !applied)
+
+(* Explicit tau-leaping. The leap length follows Cao, Gillespie & Petzold
+   (2006): bound the expected relative change of every species by
+   [epsilon], estimating the drift and diffusion of each species from the
+   current propensities. Leaps shorter than a few expected SSA steps are
+   not worth their bias, so the loop falls back to exact direct-method
+   steps there. Populations are clamped at zero after a leap (negative
+   excursions are possible with Poisson counts). *)
+let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
+  if epsilon <= 0. || epsilon >= 1. then
+    invalid_arg "Sim: tau-leaping epsilon must be in (0, 1)";
+  let state = Array.copy c.c_initial in
+  let fired = ref 0 and applied = ref 0 in
+  let n_species = Array.length c.c_names in
+  let n_reactions = Array.length c.c_reactions in
+  let mu = Array.make n_species 0. in
+  let sigma2 = Array.make n_species 0. in
+  let choose_tau a =
+    Array.fill mu 0 n_species 0.;
+    Array.fill sigma2 0 n_species 0.;
+    for j = 0 to n_reactions - 1 do
+      List.iter
+        (fun (i, d) ->
+          mu.(i) <- mu.(i) +. (d *. a.(j));
+          sigma2.(i) <- sigma2.(i) +. (d *. d *. a.(j)))
+        c.c_reactions.(j).c_deltas
+    done;
+    let tau = ref infinity in
+    for i = 0 to n_species - 1 do
+      if not c.c_boundary.(i) then begin
+        (* g_i = 2 is a conservative bound for at-most-second-order
+           kinetics *)
+        let bound = Float.max (epsilon *. state.(i) /. 2.) 1. in
+        if mu.(i) <> 0. then tau := Float.min !tau (bound /. Float.abs mu.(i));
+        if sigma2.(i) > 0. then
+          tau := Float.min !tau (bound *. bound /. sigma2.(i))
+      end
+    done;
+    !tau
+  in
+  let rec catch_up events =
+    match Events.next events with
+    | Some (e, _) when e.Events.e_time <= cfg.t0 -> (
+        match apply_events_at c state events with
+        | Some (_, m, rest) ->
+            applied := !applied + m;
+            catch_up rest
+        | None -> events)
+    | Some _ | None -> events
+  in
+  let events = catch_up events in
+  Trace.Recorder.observe recorder cfg.t0 state;
+  let rec loop t events =
+    if t < cfg.t_end then begin
+      let a = Compiled.propensities c state in
+      let a0 = sum a in
+      let t_ev = Events.next_time events in
+      if a0 <= 0. then begin
+        if t_ev <= cfg.t_end then begin
+          match apply_events_at c state events with
+          | Some (te, m, rest) ->
+              applied := !applied + m;
+              Trace.Recorder.observe recorder te state;
+              loop te rest
+          | None -> ()
+        end
+      end
+      else begin
+        let tau_sel = choose_tau a in
+        if tau_sel < 10. /. a0 then begin
+          (* exact fallback: one direct-method step *)
+          let tau = Rng.exponential rng ~rate:a0 in
+          let t' = t +. tau in
+          if t' >= t_ev && t_ev <= cfg.t_end then begin
+            match apply_events_at c state events with
+            | Some (te, m, rest) ->
+                applied := !applied + m;
+                Trace.Recorder.observe recorder te state;
+                loop te rest
+            | None -> assert false
+          end
+          else if t' < cfg.t_end then begin
+            let mu_r = select a (Rng.float rng *. a0) in
+            fire c state mu_r;
+            incr fired;
+            Trace.Recorder.observe recorder t' state;
+            loop t' events
+          end
+        end
+        else begin
+          let t_stop = Float.min cfg.t_end t_ev in
+          let tau = Float.min tau_sel (t_stop -. t) in
+          let t' = t +. tau in
+          for j = 0 to n_reactions - 1 do
+            if a.(j) > 0. then begin
+              let k = Rng.poisson rng ~mean:(a.(j) *. tau) in
+              if k > 0 then begin
+                fired := !fired + k;
+                List.iter
+                  (fun (i, d) ->
+                    state.(i) <- state.(i) +. (d *. float_of_int k))
+                  c.c_reactions.(j).c_deltas
+              end
+            end
+          done;
+          Array.iteri (fun i v -> if v < 0. then state.(i) <- 0.) state;
+          if t' >= t_ev && t_ev <= cfg.t_end then begin
+            match apply_events_at c state events with
+            | Some (te, m, rest) ->
+                applied := !applied + m;
+                Trace.Recorder.observe recorder te state;
+                loop te rest
+            | None -> assert false
+          end
+          else begin
+            Trace.Recorder.observe recorder t' state;
+            loop t' events
+          end
+        end
+      end
+    end
+  in
+  loop cfg.t0 events;
+  (state, !fired, !applied)
+
+let run_compiled ?(events = Events.empty) cfg (c : Compiled.t) =
+  let rng = Rng.create cfg.seed in
+  let recorder =
+    Trace.Recorder.create ~names:c.c_names ~initial:c.c_initial ~t0:cfg.t0
+      ~t_end:cfg.t_end ~dt:cfg.dt
+  in
+  let state, fired, applied =
+    match cfg.algorithm with
+    | Direct -> run_direct rng c cfg events recorder
+    | Next_reaction -> run_next_reaction rng c cfg events recorder
+    | Tau_leaping { epsilon } ->
+        run_tau_leap rng c cfg ~epsilon events recorder
+  in
+  let trace = Trace.Recorder.finish recorder in
+  let final_state =
+    Array.to_list (Array.mapi (fun i id -> (id, state.(i))) c.c_names)
+  in
+  (trace, { reactions_fired = fired; events_applied = applied; final_state })
+
+let run_with_stats ?events cfg model =
+  run_compiled ?events cfg (Compiled.compile model)
+
+let run ?events cfg model = fst (run_with_stats ?events cfg model)

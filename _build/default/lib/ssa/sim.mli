@@ -1,0 +1,52 @@
+(** Stochastic simulation of kinetic models.
+
+    Two exact SSA variants are provided — Gillespie's direct method
+    (Gillespie 1977, the algorithm cited by the paper) and the
+    Gibson–Bruck next-reaction method — plus explicit tau-leaping
+    (Gillespie 2001 with the step selection of Cao et al. 2006) for an
+    accuracy/speed trade-off. All interpret each kinetic law as the
+    reaction's propensity function, support timed interventions on
+    species (the virtual-lab input stimuli), and record a uniformly
+    sampled {!Trace.t}. *)
+
+module Model := Glc_model.Model
+
+type algorithm =
+  | Direct
+  | Next_reaction
+  | Tau_leaping of { epsilon : float }
+      (** error-control parameter of the step selection, typically
+          0.01–0.05; steps that would be finer than a few SSA steps fall
+          back to exact direct-method stepping *)
+
+type config = {
+  t0 : float;  (** start time *)
+  t_end : float;  (** stop time *)
+  dt : float;  (** trace sampling step *)
+  seed : int;  (** RNG seed; equal seeds reproduce traces exactly *)
+  algorithm : algorithm;
+}
+
+val config :
+  ?t0:float -> ?dt:float -> ?seed:int -> ?algorithm:algorithm ->
+  t_end:float -> unit -> config
+(** Defaults: [t0 = 0.], [dt = 1.], [seed = 42], [algorithm = Direct]. *)
+
+type stats = {
+  reactions_fired : int;
+  events_applied : int;
+  final_state : (string * float) list;
+}
+
+val run : ?events:Events.schedule -> config -> Model.t -> Trace.t
+(** Compiles and simulates the model. Events clamp species to new values
+    at their scheduled times; reaction firings never drive a count below
+    zero (propensities are clamped at zero). *)
+
+val run_with_stats :
+  ?events:Events.schedule -> config -> Model.t -> Trace.t * stats
+
+val run_compiled :
+  ?events:Events.schedule -> config -> Compiled.t -> Trace.t * stats
+(** Reuses an already compiled model (the benchmark harness simulates the
+    same circuit many times). *)

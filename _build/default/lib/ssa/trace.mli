@@ -1,0 +1,94 @@
+(** Uniformly sampled simulation traces.
+
+    The analysis algorithm of the paper consumes the simulation data as a
+    stream of samples ("number of simulated data points" in Fig. 2), so
+    jump-process trajectories are resampled onto a uniform time grid with
+    zero-order hold: the value at grid point [g] is the state that held
+    just before [g]. *)
+
+type t
+
+val names : t -> string array
+(** Recorded species identifiers, in recording order. *)
+
+val length : t -> int
+(** Number of grid samples. *)
+
+val t0 : t -> float
+val dt : t -> float
+
+val time : t -> int -> float
+(** [time tr k] is the time of sample [k]. *)
+
+val value : t -> string -> int -> float
+(** [value tr id k] is the amount of species [id] at sample [k].
+    @raise Not_found if [id] was not recorded. *)
+
+val column : t -> string -> float array
+(** Whole sampled series of one species (a fresh copy).
+    @raise Not_found if the species was not recorded. *)
+
+val index : t -> string -> int option
+(** Position of a species in {!names}. *)
+
+val sub : t -> from:int -> until:int -> t
+(** Samples [from .. until - 1] as a new trace.
+    @raise Invalid_argument on out-of-range bounds. *)
+
+val concat : t -> t -> t
+(** [concat a b] glues two contiguous recordings: same species, same
+    [dt], and [b] starting exactly one step after [a] ends (within one
+    part in 10^6 of [dt]).
+    @raise Invalid_argument otherwise. *)
+
+val mean : t -> string -> float
+(** Time-average of a species over the whole trace. *)
+
+val variance : t -> string -> float
+(** Population variance of a species' samples. *)
+
+val fano_factor : t -> string -> float
+(** [variance / mean] — the standard dispersion measure of gene
+    expression noise; 1 for a Poisson-distributed stationary process.
+    [nan] when the mean is zero. *)
+
+val crossings : t -> string -> float -> int
+(** Number of times the sampled series crosses the given level (in
+    either direction) — the analog precursor of the paper's variation
+    count. *)
+
+val max_value : t -> string -> float
+
+val to_csv : t -> string
+(** Header [time,<id>,...] then one row per sample. *)
+
+val of_csv : string -> (t, string) result
+(** Parses {!to_csv} output (uniform grid required). *)
+
+val write_csv : string -> t -> unit
+val read_csv : string -> (t, string) result
+
+(** Incremental construction from a jump process. *)
+module Recorder : sig
+  type trace := t
+  type t
+
+  val create :
+    names:string array ->
+    initial:float array ->
+    t0:float ->
+    t_end:float ->
+    dt:float ->
+    t
+  (** Grid [t0, t0 + dt, …] up to and including the last point [<= t_end].
+      @raise Invalid_argument if [dt <= 0] or [t_end < t0] or the lengths
+      of [names] and [initial] differ. *)
+
+  val observe : t -> float -> float array -> unit
+  (** [observe r t state] records that the system state is [state] from
+      time [t] on. Times must be non-decreasing. *)
+
+  val finish : t -> trace
+  (** Fills the remaining grid with the last observed state and returns
+      the trace. The recorder must not be used afterwards. *)
+end

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Format Fun Glc_core Glc_logic Glc_ssa List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dvasim.ml: Alcotest Filename Float Glc_core Glc_dvasim Glc_gates Glc_ssa List Sys

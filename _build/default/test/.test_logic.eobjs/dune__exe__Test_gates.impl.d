@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Array Float Format Fun Glc_gates Glc_logic Glc_sbol Glc_ssa List Printf QCheck QCheck_alcotest

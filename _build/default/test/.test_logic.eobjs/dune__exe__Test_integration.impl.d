@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Glc_core Glc_dvasim Glc_gates Glc_logic Glc_model Glc_sbol Glc_ssa List String

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Format Fun Glc_logic Int List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Filename Float Glc_gates Glc_model List Option QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_sbol.ml: Alcotest Filename Glc_gates Glc_model Glc_sbol List Option String Sys

@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Array Float Glc_model Glc_ssa Int64 List QCheck QCheck_alcotest

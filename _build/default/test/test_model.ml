@@ -1,0 +1,456 @@
+(* Tests for glc_model: kinetic-law math, the XML layer, reaction-network
+   models and the SBML subset reader/writer. *)
+
+module Math = Glc_model.Math
+module Xml = Glc_model.Xml
+module Model = Glc_model.Model
+module Sbml = Glc_model.Sbml
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+let checks = Alcotest.check Alcotest.string
+
+(* ---- math ---- *)
+
+let lookup_of l x = List.assoc x l
+
+let test_math_eval () =
+  let open Math in
+  let env = lookup_of [ ("x", 4.); ("y", 2.) ] in
+  checkf "add" 6. (eval ~lookup:env (var "x" + var "y"));
+  checkf "sub" 2. (eval ~lookup:env (var "x" - var "y"));
+  checkf "mul" 8. (eval ~lookup:env (var "x" * var "y"));
+  checkf "div" 2. (eval ~lookup:env (var "x" / var "y"));
+  checkf "pow" 16. (eval ~lookup:env (var "x" ** var "y"));
+  checkf "neg" (-4.) (eval ~lookup:env (Neg (var "x")));
+  checkf "min" 2. (eval ~lookup:env (Min (var "x", var "y")));
+  checkf "max" 4. (eval ~lookup:env (Max (var "x", var "y")));
+  checkf "exp" (Float.exp 2.) (eval ~lookup:env (Exp (var "y")));
+  checkf "ln" (Float.log 4.) (eval ~lookup:env (Ln (var "x")))
+
+let test_math_idents () =
+  let open Math in
+  Alcotest.(check (list string))
+    "idents" [ "a"; "b" ]
+    (idents ((var "b" * var "a") + (var "a" ** num 2.)))
+
+let test_math_subst () =
+  let open Math in
+  let e =
+    subst
+      (fun x -> if x = "k" then Some (num 3.) else None)
+      (var "k" * var "x")
+  in
+  checkf "substituted" 6. (eval ~lookup:(lookup_of [ ("x", 2.) ]) e)
+
+let test_hill_limits () =
+  let open Math in
+  let hill x =
+    eval
+      ~lookup:(lookup_of [ ("r", x) ])
+      (hill_repression ~ymin:(num 1.) ~ymax:(num 101.) ~k:(num 10.)
+         ~n:(num 2.) (var "r"))
+  in
+  checkf "no repressor -> ymax" 101. (hill 0.);
+  checkf "half response at K" 51. (hill 10.);
+  checkb "saturating -> ymin" true (hill 1e9 < 1.0001);
+  let act x =
+    eval
+      ~lookup:(lookup_of [ ("r", x) ])
+      (hill_activation ~ymin:(num 1.) ~ymax:(num 101.) ~k:(num 10.)
+         ~n:(num 2.) (var "r"))
+  in
+  checkf "no activator -> ymin" 1. (act 0.);
+  checkb "saturating -> ymax" true (act 1e9 > 100.9999)
+
+let test_math_pp () =
+  let open Math in
+  checks "precedence" "a + b * c" (to_string (var "a" + (var "b" * var "c")));
+  checks "parens" "(a + b) * c" (to_string ((var "a" + var "b") * var "c"));
+  checks "pow" "a^2" (to_string (var "a" ** num 2.));
+  checks "div chain" "a / b / c" (to_string (var "a" / var "b" / var "c"));
+  checks "functions" "min(a, exp(b))"
+    (to_string (Min (var "a", Exp (var "b"))))
+
+let test_math_parser () =
+  let parse s =
+    match Math.of_string s with
+    | Ok e -> e
+    | Error msg -> Alcotest.failf "parse %S: %s" s msg
+  in
+  let open Math in
+  checkb "precedence" true
+    (equal (parse "1 + 2 * x") (num 1. + (num 2. * var "x")));
+  checkb "hill law" true
+    (equal
+       (parse "k^n / (k^n + S^n)")
+       ((var "k" ** var "n")
+       / ((var "k" ** var "n") + (var "S" ** var "n"))));
+  checkb "scientific notation" true (equal (parse "1.5e-3") (num 0.0015));
+  checkb "unary minus" true (equal (parse "-x * 2") (Neg (var "x") * num 2.));
+  checkb "power is right-associative" true
+    (equal (parse "a^b^c") (var "a" ** (var "b" ** var "c")));
+  checkb "functions" true
+    (equal (parse "min(a, max(b, 1)) + exp(ln(x))")
+       (Min (var "a", Max (var "b", num 1.)) + Exp (Ln (var "x"))));
+  checkb "exp is a function, e an identifier" true
+    (equal (parse "exp(1)") (Exp (num 1.)) && equal (parse "e") (var "e"));
+  List.iter
+    (fun bad ->
+      match Math.of_string bad with
+      | Ok _ -> Alcotest.failf "expected failure on %S" bad
+      | Error _ -> ())
+    [ ""; "1 +"; "(1"; "foo(1)"; "min(1)"; "1 2"; "2e" ]
+
+let test_math_equal () =
+  let open Math in
+  checkb "equal" true (equal (var "a" + num 1.) (var "a" + num 1.));
+  checkb "not equal" false (equal (var "a" + num 1.) (num 1. + var "a"))
+
+(* ---- xml ---- *)
+
+let test_xml_roundtrip () =
+  let doc =
+    Xml.element ~attrs:[ ("id", "m1"); ("note", "a<b&c\"d") ] "root"
+      [
+        Xml.element "child" [ Xml.text "hello & <world>" ];
+        Xml.element ~attrs:[ ("x", "1") ] "empty" [];
+      ]
+  in
+  match Xml.parse (Xml.to_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+      checkb "root tag" true (Xml.tag parsed = Some "root");
+      checks "escaped attr" "a<b&c\"d" (Option.get (Xml.attr "note" parsed));
+      checks "text round trip" "hello & <world>"
+        (Xml.text_content (Option.get (Xml.child "child" parsed)));
+      checkb "empty element" true (Xml.child "empty" parsed <> None)
+
+let test_xml_skips_misc () =
+  let s =
+    "<?xml version=\"1.0\"?><!-- preamble --><a><!-- inner --><b/>\
+     <?pi data?></a>"
+  in
+  match Xml.parse s with
+  | Error e -> Alcotest.fail e
+  | Ok doc -> Alcotest.(check int) "one child" 1 (List.length (Xml.children doc))
+
+let test_xml_entities () =
+  match Xml.parse "<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</a>" with
+  | Error e -> Alcotest.fail e
+  | Ok doc -> checks "decoded" "<>&\"'AB" (Xml.text_content doc)
+
+let test_xml_errors () =
+  let fails s = match Xml.parse s with Ok _ -> false | Error _ -> true in
+  checkb "mismatched tag" true (fails "<a></b>");
+  checkb "unterminated" true (fails "<a>");
+  checkb "unknown entity" true (fails "<a>&nope;</a>");
+  checkb "trailing garbage" true (fails "<a/><b/>");
+  checkb "bad attr" true (fails "<a x=1/>")
+
+let test_xml_childs () =
+  match Xml.parse "<a><b i=\"1\"/><c/><b i=\"2\"/></a>" with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+      Alcotest.(check (list (option string)))
+        "both bs in order"
+        [ Some "1"; Some "2" ]
+        (List.map (Xml.attr "i") (Xml.childs "b" doc))
+
+(* ---- model ---- *)
+
+let valid_model () =
+  Model.make ~id:"m"
+    ~species:
+      [ Model.species ~boundary:true "I" 0.; Model.species "P" 0. ]
+    ~parameters:[ Model.parameter "k" 2.; Model.parameter "g" 0.1 ]
+    ~reactions:
+      [
+        Model.reaction ~products:[ ("P", 1) ] ~modifiers:[ "I" ]
+          ~rate:Math.(var "k" / (num 1. + var "I"))
+          "prod";
+        Model.reaction
+          ~reactants:[ ("P", 1) ]
+          ~rate:Math.(var "g" * var "P")
+          "deg";
+      ]
+    ()
+
+let test_model_valid () =
+  let m = valid_model () in
+  Alcotest.(check (list string)) "no errors" [] (Model.validate m);
+  checkb "find species" true (Model.find_species m "P" <> None);
+  checkb "find reaction" true (Model.find_reaction m "deg" <> None);
+  checkf "param" 2. (Option.get (Model.parameter_value m "k"));
+  Alcotest.(check (list string)) "ids" [ "I"; "P" ] (Model.species_ids m)
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let test_model_validation () =
+  expect_invalid "duplicate species" (fun () ->
+      Model.make ~id:"m"
+        ~species:[ Model.species "P" 0.; Model.species "P" 1. ]
+        ~reactions:[] ());
+  expect_invalid "unknown reactant" (fun () ->
+      Model.make ~id:"m" ~species:[]
+        ~reactions:
+          [ Model.reaction ~reactants:[ ("X", 1) ] ~rate:(Math.num 1.) "r" ]
+        ());
+  expect_invalid "unknown ident in rate" (fun () ->
+      Model.make ~id:"m" ~species:[]
+        ~reactions:[ Model.reaction ~rate:(Math.var "zz") "r" ]
+        ());
+  expect_invalid "writes boundary" (fun () ->
+      Model.make ~id:"m"
+        ~species:[ Model.species ~boundary:true "I" 0. ]
+        ~reactions:
+          [ Model.reaction ~products:[ ("I", 1) ] ~rate:(Math.num 1.) "r" ]
+        ());
+  expect_invalid "zero stoichiometry" (fun () ->
+      Model.make ~id:"m"
+        ~species:[ Model.species "P" 0. ]
+        ~reactions:
+          [ Model.reaction ~products:[ ("P", 0) ] ~rate:(Math.num 1.) "r" ]
+        ());
+  expect_invalid "negative initial" (fun () ->
+      Model.make ~id:"m" ~species:[ Model.species "P" (-1.) ] ~reactions:[]
+        ())
+
+let test_model_with_initial () =
+  let m = Model.with_initial (valid_model ()) "P" 7. in
+  checkf "changed" 7. (Option.get (Model.find_species m "P")).Model.s_initial;
+  Alcotest.check_raises "unknown species" Not_found (fun () ->
+      ignore (Model.with_initial m "nope" 1.))
+
+let test_model_map_rates () =
+  let m = Model.map_rates (fun r -> Math.(num 2. * r)) (valid_model ()) in
+  let r = Option.get (Model.find_reaction m "deg") in
+  checkb "wrapped" true
+    (Math.equal r.Model.r_rate Math.(num 2. * (var "g" * var "P")))
+
+(* ---- sbml ---- *)
+
+let rec math_gen depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun f -> Math.Const (Float.of_int f)) (int_range (-5) 20);
+        map (fun v -> Math.Ident v) (oneofl [ "x"; "y"; "k1" ]);
+      ]
+  else begin
+    let sub = math_gen (depth - 1) in
+    frequency
+      [
+        (2, map (fun f -> Math.Const (Float.of_int f)) (int_range (-5) 20));
+        (2, map (fun v -> Math.Ident v) (oneofl [ "x"; "y"; "k1" ]));
+        (1, map (fun a -> Math.Neg a) sub);
+        (1, map2 (fun a b -> Math.Add (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Sub (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Mul (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Div (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Pow (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Min (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Max (a, b)) sub sub);
+        (1, map (fun a -> Math.Exp a) sub);
+        (1, map (fun a -> Math.Ln a) sub);
+      ]
+  end
+
+let math_arb = QCheck.make ~print:Math.to_string (math_gen 4)
+
+(* non-negative constants: the printer renders Const (-5.) as "-5", which
+   reads back as Neg (Const 5.) — semantically equal, structurally not *)
+let rec nonneg_consts : Math.t -> Math.t = function
+  | Math.Const c -> Math.Const (Float.abs c)
+  | Math.Ident v -> Math.Ident v
+  | Math.Neg a -> Math.Neg (nonneg_consts a)
+  | Math.Add (a, b) -> Math.Add (nonneg_consts a, nonneg_consts b)
+  | Math.Sub (a, b) -> Math.Sub (nonneg_consts a, nonneg_consts b)
+  | Math.Mul (a, b) -> Math.Mul (nonneg_consts a, nonneg_consts b)
+  | Math.Div (a, b) -> Math.Div (nonneg_consts a, nonneg_consts b)
+  | Math.Pow (a, b) -> Math.Pow (nonneg_consts a, nonneg_consts b)
+  | Math.Min (a, b) -> Math.Min (nonneg_consts a, nonneg_consts b)
+  | Math.Max (a, b) -> Math.Max (nonneg_consts a, nonneg_consts b)
+  | Math.Exp a -> Math.Exp (nonneg_consts a)
+  | Math.Ln a -> Math.Ln (nonneg_consts a)
+
+let prop_math_parse_roundtrip =
+  QCheck.Test.make ~name:"parser re-reads the printer's output" ~count:300
+    (QCheck.make ~print:Math.to_string
+       (QCheck.Gen.map nonneg_consts (math_gen 4)))
+    (fun e ->
+      match Math.of_string (Math.to_string e) with
+      | Error msg -> QCheck.Test.fail_report msg
+      | Ok e' -> Math.equal e e')
+
+let prop_mathml_roundtrip =
+  QCheck.Test.make ~name:"MathML round trip" ~count:300 math_arb (fun m ->
+      match Sbml.math_of_xml (Sbml.math_to_xml m) with
+      | Ok m' -> Math.equal m m'
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_mathml_string_roundtrip =
+  QCheck.Test.make ~name:"MathML survives XML printing" ~count:100 math_arb
+    (fun m ->
+      let s = Xml.to_string (Sbml.math_to_xml m) in
+      match Xml.parse s with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok xml -> (
+          match Sbml.math_of_xml xml with
+          | Ok m' -> Math.equal m m'
+          | Error e -> QCheck.Test.fail_report e))
+
+(* Random XML trees in the normal form the parser preserves: no
+   whitespace-only text, no adjacent text nodes, trimmed text. *)
+let xml_gen =
+  let open QCheck.Gen in
+  let name = oneofl [ "node"; "a"; "list-of"; "x1" ] in
+  let attr =
+    pair (oneofl [ "id"; "value"; "k" ]) (oneofl [ "v"; "a&b"; "<q>"; "x y" ])
+  in
+  let text = oneofl [ "hello"; "a<b"; "1.5"; "x&y" ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then
+        map2 (fun t attrs -> Xml.element ~attrs t []) name (list_size (int_bound 2) attr)
+      else begin
+        let child =
+          frequency [ (3, self (depth - 1)); (1, map Xml.text text) ]
+        in
+        (* avoid adjacent text nodes: interleave at most one text child *)
+        map3
+          (fun t attrs children ->
+            let rec dedup_text = function
+              | Xml.Text _ :: Xml.Text _ :: rest -> dedup_text (Xml.Text "t" :: rest)
+              | c :: rest -> c :: dedup_text rest
+              | [] -> []
+            in
+            Xml.element ~attrs t (dedup_text children))
+          name
+          (list_size (int_bound 2) attr)
+          (list_size (int_bound 3) child)
+      end)
+    3
+
+let rec xml_equal a b =
+  match (a, b) with
+  | Xml.Text s, Xml.Text t -> String.trim s = String.trim t
+  | Xml.Element (ta, aa, ca), Xml.Element (tb, ab, cb) ->
+      ta = tb && aa = ab
+      && List.length ca = List.length cb
+      && List.for_all2 xml_equal ca cb
+  | (Xml.Text _ | Xml.Element _), _ -> false
+
+let prop_xml_roundtrip =
+  QCheck.Test.make ~name:"XML printer output re-parses identically"
+    ~count:300
+    (QCheck.make ~print:(Xml.to_string ~decl:false) xml_gen)
+    (fun doc ->
+      match Xml.parse (Xml.to_string doc) with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok doc' -> xml_equal doc doc')
+
+let test_sbml_roundtrip () =
+  let m = valid_model () in
+  match Sbml.of_string (Sbml.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      checks "id" m.Model.m_id m'.Model.m_id;
+      Alcotest.(check int) "species" 2 (List.length m'.Model.m_species);
+      Alcotest.(check int) "params" 2 (List.length m'.Model.m_parameters);
+      Alcotest.(check int) "reactions" 2 (List.length m'.Model.m_reactions);
+      let s = Option.get (Model.find_species m' "I") in
+      checkb "boundary preserved" true s.Model.s_boundary;
+      let r = Option.get (Model.find_reaction m' "prod") in
+      Alcotest.(check (list string)) "modifiers" [ "I" ] r.Model.r_modifiers;
+      checkb "rate preserved" true
+        (Math.equal r.Model.r_rate Math.(var "k" / (num 1. + var "I")))
+
+let test_sbml_real_circuit_roundtrip () =
+  let m = Glc_gates.Circuit.model (Glc_gates.Cello.circuit_0x0B ()) in
+  match Sbml.of_string (Sbml.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      Alcotest.(check int) "species count"
+        (List.length m.Model.m_species)
+        (List.length m'.Model.m_species);
+      Alcotest.(check int) "reaction count"
+        (List.length m.Model.m_reactions)
+        (List.length m'.Model.m_reactions)
+
+let test_sbml_errors () =
+  let fails s = match Sbml.of_string s with Ok _ -> false | Error _ -> true in
+  checkb "not sbml" true (fails "<notsbml/>");
+  checkb "no model" true (fails "<sbml level=\"3\"/>");
+  checkb "reaction without kinetic law" true
+    (fails
+       "<sbml><model id=\"m\"><listOfSpecies><species id=\"P\" \
+        initialAmount=\"0\"/></listOfSpecies><listOfReactions><reaction \
+        id=\"r\"><listOfProducts><speciesReference \
+        species=\"P\"/></listOfProducts></reaction></listOfReactions></model></sbml>");
+  checkb "undeclared species in reaction" true
+    (fails
+       "<sbml><model id=\"m\"><listOfReactions><reaction \
+        id=\"r\"><listOfProducts><speciesReference \
+        species=\"X\"/></listOfProducts><kineticLaw><math><cn>1</cn></math>\
+        </kineticLaw></reaction></listOfReactions></model></sbml>")
+
+let test_sbml_files () =
+  let m = valid_model () in
+  let path = Filename.temp_file "glc_test" ".sbml.xml" in
+  Sbml.write_file path m;
+  (match Sbml.read_file path with
+  | Ok m' -> checks "file round trip" m.Model.m_id m'.Model.m_id
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "glc_model"
+    [
+      ( "math",
+        [
+          Alcotest.test_case "eval" `Quick test_math_eval;
+          Alcotest.test_case "idents" `Quick test_math_idents;
+          Alcotest.test_case "subst" `Quick test_math_subst;
+          Alcotest.test_case "hill limits" `Quick test_hill_limits;
+          Alcotest.test_case "pretty printing" `Quick test_math_pp;
+          Alcotest.test_case "parser" `Quick test_math_parser;
+          Alcotest.test_case "equal" `Quick test_math_equal;
+        ] );
+      ( "xml",
+        [
+          Alcotest.test_case "round trip" `Quick test_xml_roundtrip;
+          Alcotest.test_case "comments and PIs" `Quick test_xml_skips_misc;
+          Alcotest.test_case "entities" `Quick test_xml_entities;
+          Alcotest.test_case "errors" `Quick test_xml_errors;
+          Alcotest.test_case "childs" `Quick test_xml_childs;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "valid model" `Quick test_model_valid;
+          Alcotest.test_case "validation" `Quick test_model_validation;
+          Alcotest.test_case "with_initial" `Quick test_model_with_initial;
+          Alcotest.test_case "map_rates" `Quick test_model_map_rates;
+        ] );
+      ( "sbml",
+        [
+          Alcotest.test_case "model round trip" `Quick test_sbml_roundtrip;
+          Alcotest.test_case "real circuit round trip" `Quick
+            test_sbml_real_circuit_roundtrip;
+          Alcotest.test_case "errors" `Quick test_sbml_errors;
+          Alcotest.test_case "files" `Quick test_sbml_files;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_mathml_roundtrip;
+            prop_mathml_string_roundtrip;
+            prop_math_parse_roundtrip;
+            prop_xml_roundtrip;
+          ] );
+    ]

@@ -1,0 +1,302 @@
+(* Tests for glc_sbol: structural documents, the SBOL-to-kinetic-model
+   converter and the SBOL XML subset. *)
+
+module Document = Glc_sbol.Document
+module To_model = Glc_sbol.To_model
+module Sbol_xml = Glc_sbol.Sbol_xml
+module Model = Glc_model.Model
+module Math = Glc_model.Math
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+(* A NOT gate with an extra unsensed input protein, for coverage of the
+   classification functions. *)
+let not_gate () =
+  Document.make ~id:"not"
+    ~parts:
+      [
+        Document.part Document.Promoter "P1";
+        Document.part Document.Cds "cds1";
+        Document.part Document.Terminator "t1";
+      ]
+    ~proteins:
+      [ Document.protein "LacI"; Document.protein ~reporter:true "GFP" ]
+    ~interactions:
+      [
+        Document.Production { prom = "P1"; prot = "GFP" };
+        Document.Repression { repressor = "LacI"; prom = "P1" };
+      ]
+
+let test_document_classification () =
+  let doc = not_gate () in
+  Alcotest.(check (list string)) "inputs" [ "LacI" ]
+    (Document.input_proteins doc);
+  Alcotest.(check (list string)) "outputs" [ "GFP" ]
+    (Document.output_proteins doc);
+  Alcotest.(check (list string)) "producers" [ "P1" ]
+    (Document.producers doc "GFP");
+  checkb "production" true (Document.production doc "P1" = Some "GFP");
+  checki "one regulator" 1 (List.length (Document.regulators doc "P1"))
+
+let test_output_fallback_without_reporter () =
+  (* without a reporter flag, the output is the protein regulating no
+     promoter *)
+  let doc =
+    Document.make ~id:"d"
+      ~parts:[ Document.part Document.Promoter "P1" ]
+      ~proteins:[ Document.protein "A"; Document.protein "B" ]
+      ~interactions:
+        [
+          Document.Production { prom = "P1"; prot = "B" };
+          Document.Repression { repressor = "A"; prom = "P1" };
+        ]
+  in
+  Alcotest.(check (list string)) "fallback output" [ "B" ]
+    (Document.output_proteins doc)
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let test_document_validation () =
+  expect_invalid "duplicate parts" (fun () ->
+      Document.make ~id:"d"
+        ~parts:
+          [
+            Document.part Document.Promoter "P1";
+            Document.part Document.Cds "P1";
+          ]
+        ~proteins:[] ~interactions:[]);
+  expect_invalid "unknown promoter" (fun () ->
+      Document.make ~id:"d" ~parts:[]
+        ~proteins:[ Document.protein "A" ]
+        ~interactions:[ Document.Production { prom = "P9"; prot = "A" } ]);
+  expect_invalid "production from a CDS" (fun () ->
+      Document.make ~id:"d"
+        ~parts:[ Document.part Document.Cds "c1" ]
+        ~proteins:[ Document.protein "A" ]
+        ~interactions:[ Document.Production { prom = "c1"; prot = "A" } ]);
+  expect_invalid "unknown repressor" (fun () ->
+      Document.make ~id:"d"
+        ~parts:[ Document.part Document.Promoter "P1" ]
+        ~proteins:[]
+        ~interactions:
+          [ Document.Repression { repressor = "ghost"; prom = "P1" } ]);
+  expect_invalid "two productions on one promoter" (fun () ->
+      Document.make ~id:"d"
+        ~parts:[ Document.part Document.Promoter "P1" ]
+        ~proteins:[ Document.protein "A"; Document.protein "B" ]
+        ~interactions:
+          [
+            Document.Production { prom = "P1"; prot = "A" };
+            Document.Production { prom = "P1"; prot = "B" };
+          ])
+
+(* ---- conversion ---- *)
+
+let rate_of model reaction_id =
+  (Option.get (Model.find_reaction model reaction_id)).Model.r_rate
+
+let eval_rate model reaction_id env =
+  Math.eval
+    ~lookup:(fun id ->
+      match List.assoc_opt id env with
+      | Some v -> v
+      | None -> Option.get (Model.parameter_value model id))
+    (rate_of model reaction_id)
+
+let test_convert_not_gate () =
+  let model = To_model.convert (not_gate ()) in
+  (* species: LacI is a boundary input, GFP is not *)
+  let laci = Option.get (Model.find_species model "LacI") in
+  checkb "input is boundary" true laci.Model.s_boundary;
+  let gfp = Option.get (Model.find_species model "GFP") in
+  checkb "output not boundary" false gfp.Model.s_boundary;
+  (* reactions: production of GFP, degradation of GFP, nothing for LacI *)
+  checki "two reactions" 2 (List.length model.Model.m_reactions);
+  checkb "no input degradation" true
+    (Model.find_reaction model "deg_LacI" = None);
+  (* repression limits *)
+  let k = To_model.default_kinetics in
+  checkf 1e-9 "no repressor -> ymax" k.To_model.ymax
+    (eval_rate model "prod_P1" [ ("LacI", 0.) ]);
+  checkb "full repression -> near ymin" true
+    (eval_rate model "prod_P1" [ ("LacI", 1e6) ] < 1.001 *. k.To_model.ymin);
+  (* degradation is first order *)
+  checkf 1e-9 "degradation" (To_model.default_degradation *. 10.)
+    (eval_rate model "deg_GFP" [ ("GFP", 10.) ])
+
+let test_convert_tandem_repression_is_product () =
+  let doc =
+    Document.make ~id:"nor"
+      ~parts:[ Document.part Document.Promoter "P1" ]
+      ~proteins:
+        [
+          Document.protein "A";
+          Document.protein "B";
+          Document.protein ~reporter:true "GFP";
+        ]
+      ~interactions:
+        [
+          Document.Production { prom = "P1"; prot = "GFP" };
+          Document.Repression { repressor = "A"; prom = "P1" };
+          Document.Repression { repressor = "B"; prom = "P1" };
+        ]
+  in
+  let model = To_model.convert doc in
+  let k = To_model.default_kinetics in
+  let rate a b = eval_rate model "prod_P1" [ ("A", a); ("B", b) ] in
+  (* independent sites: repression by one input alone is already strong *)
+  checkb "one high input represses" true (rate 1e6 0. < 1.01 *. k.ymin);
+  checkb "other high input represses" true (rate 0. 1e6 < 1.01 *. k.ymin);
+  checkf 1e-9 "both low: full activity" k.ymax (rate 0. 0.);
+  (* the two factors multiply: f(a,b) - ymin = (f(a,0)-ymin)(f(0,b)-ymin)/(ymax-ymin) *)
+  let f ab = rate (fst ab) (snd ab) -. k.ymin in
+  checkf 1e-6 "product law"
+    (f (20., 0.) *. f (0., 30.) /. (k.ymax -. k.ymin))
+    (f (20., 30.))
+
+let test_convert_activation () =
+  let doc =
+    Document.make ~id:"act"
+      ~parts:[ Document.part Document.Promoter "P1" ]
+      ~proteins:
+        [ Document.protein "A"; Document.protein ~reporter:true "GFP" ]
+      ~interactions:
+        [
+          Document.Production { prom = "P1"; prot = "GFP" };
+          Document.Activation { activator = "A"; prom = "P1" };
+        ]
+  in
+  let model = To_model.convert doc in
+  let k = To_model.default_kinetics in
+  checkf 1e-9 "no activator -> ymin" k.To_model.ymin
+    (eval_rate model "prod_P1" [ ("A", 0.) ]);
+  checkb "saturating activator -> near ymax" true
+    (eval_rate model "prod_P1" [ ("A", 1e6) ] > 0.999 *. k.To_model.ymax)
+
+let test_convert_affinity_override () =
+  let doc = not_gate () in
+  let tight = To_model.convert ~affinity:(fun _ -> Some (2., 4.)) doc in
+  let loose = To_model.convert ~affinity:(fun _ -> Some (50., 1.5)) doc in
+  let at m x = eval_rate m "prod_P1" [ ("LacI", x) ] in
+  checkb "tight binding represses at 10 molecules" true
+    (at tight 10. < 0.1 *. at loose 10.)
+
+let test_convert_initial_and_degradation () =
+  let doc = not_gate () in
+  let model =
+    To_model.convert
+      ~initial:(fun id -> if id = "GFP" then 42. else 0.)
+      ~degradation:(fun _ -> 0.5)
+      doc
+  in
+  checkf 0. "initial" 42.
+    (Option.get (Model.find_species model "GFP")).Model.s_initial;
+  checkf 1e-9 "degradation rate" 5. (eval_rate model "deg_GFP" [ ("GFP", 10.) ])
+
+let test_convert_constitutive () =
+  let doc =
+    Document.make ~id:"const"
+      ~parts:[ Document.part Document.Promoter "P1" ]
+      ~proteins:[ Document.protein ~reporter:true "GFP" ]
+      ~interactions:[ Document.Production { prom = "P1"; prot = "GFP" } ]
+  in
+  let model = To_model.convert doc in
+  checkf 1e-9 "constitutive rate" To_model.default_kinetics.To_model.ymax
+    (eval_rate model "prod_P1" [])
+
+let test_document_dot () =
+  let dot = Document.to_dot (not_gate ()) in
+  let contains needle =
+    let n = String.length dot and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub dot i m = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "digraph" true (contains "digraph \"not\"");
+  checkb "promoter box" true (contains "\"P1\" [shape=box");
+  checkb "input shaded" true (contains "\"LacI\" [shape=ellipse, style=filled");
+  checkb "reporter doubled" true (contains "\"GFP\" [shape=doublecircle]");
+  checkb "production edge" true (contains "\"P1\" -> \"GFP\";");
+  checkb "repression edge" true
+    (contains "\"LacI\" -> \"P1\" [arrowhead=tee, color=red];")
+
+(* ---- sbol xml ---- *)
+
+let test_sbol_xml_roundtrip () =
+  let doc = (Glc_gates.Cello.circuit_0x1C ()).Glc_gates.Circuit.document in
+  match Sbol_xml.of_string (Sbol_xml.to_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok doc' ->
+      checki "parts" (List.length doc.Document.doc_parts)
+        (List.length doc'.Document.doc_parts);
+      checki "proteins"
+        (List.length doc.Document.doc_proteins)
+        (List.length doc'.Document.doc_proteins);
+      checki "interactions"
+        (List.length doc.Document.doc_interactions)
+        (List.length doc'.Document.doc_interactions);
+      Alcotest.(check (list string))
+        "inputs survive"
+        (Document.input_proteins doc)
+        (Document.input_proteins doc');
+      Alcotest.(check (list string))
+        "outputs survive"
+        (Document.output_proteins doc)
+        (Document.output_proteins doc')
+
+let test_sbol_xml_errors () =
+  let fails s =
+    match Sbol_xml.of_string s with Ok _ -> false | Error _ -> true
+  in
+  checkb "wrong root" true (fails "<sbml/>");
+  checkb "bad role" true (fails "<sbol><part id=\"p\" role=\"gene\"/></sbol>");
+  checkb "missing attr" true (fails "<sbol><part id=\"p\"/></sbol>");
+  checkb "invalid document" true
+    (fails "<sbol><production promoter=\"p\" protein=\"x\"/></sbol>")
+
+let test_sbol_xml_files () =
+  let doc = not_gate () in
+  let path = Filename.temp_file "glc_test" ".sbol.xml" in
+  Sbol_xml.write_file path doc;
+  (match Sbol_xml.read_file path with
+  | Ok doc' ->
+      Alcotest.(check string) "id" doc.Document.doc_id doc'.Document.doc_id
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let () =
+  Alcotest.run "glc_sbol"
+    [
+      ( "document",
+        [
+          Alcotest.test_case "classification" `Quick
+            test_document_classification;
+          Alcotest.test_case "output fallback" `Quick
+            test_output_fallback_without_reporter;
+          Alcotest.test_case "validation" `Quick test_document_validation;
+          Alcotest.test_case "graphviz export" `Quick test_document_dot;
+        ] );
+      ( "to_model",
+        [
+          Alcotest.test_case "NOT gate" `Quick test_convert_not_gate;
+          Alcotest.test_case "tandem repression multiplies" `Quick
+            test_convert_tandem_repression_is_product;
+          Alcotest.test_case "activation" `Quick test_convert_activation;
+          Alcotest.test_case "affinity override" `Quick
+            test_convert_affinity_override;
+          Alcotest.test_case "initial and degradation" `Quick
+            test_convert_initial_and_degradation;
+          Alcotest.test_case "constitutive promoter" `Quick
+            test_convert_constitutive;
+        ] );
+      ( "sbol_xml",
+        [
+          Alcotest.test_case "round trip" `Quick test_sbol_xml_roundtrip;
+          Alcotest.test_case "errors" `Quick test_sbol_xml_errors;
+          Alcotest.test_case "files" `Quick test_sbol_xml_files;
+        ] );
+    ]

@@ -1,0 +1,714 @@
+(* Tests for glc_ssa: the RNG, the indexed heap, trace recording, event
+   schedules, model compilation and both exact SSA variants. *)
+
+module Rng = Glc_ssa.Rng
+module Indexed_heap = Glc_ssa.Indexed_heap
+module Trace = Glc_ssa.Trace
+module Events = Glc_ssa.Events
+module Compiled = Glc_ssa.Compiled
+module Sim = Glc_ssa.Sim
+module Model = Glc_model.Model
+module Math = Glc_model.Math
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+(* ---- rng ---- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 17 and b = Rng.create 17 in
+  for _ = 1 to 100 do
+    checkb "same stream" true (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 17 and b = Rng.create 18 in
+  checkb "different seeds differ" false
+    (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+
+let test_rng_copy () =
+  let a = Rng.create 3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  checkb "copy continues identically" true
+    (Int64.equal (Rng.bits64 a) (Rng.bits64 b));
+  ignore (Rng.bits64 a);
+  (* a advanced one extra step; streams now out of phase *)
+  checkb "independent afterwards" false
+    (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+
+let test_rng_float_range () =
+  let r = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of range: %g" x
+  done;
+  let r = Rng.create 6 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float_pos r in
+    if x <= 0. || x > 1. then Alcotest.failf "float_pos out of range: %g" x
+  done
+
+let test_rng_float_mean () =
+  let r = Rng.create 7 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float r
+  done;
+  checkf 0.01 "uniform mean" 0.5 (!sum /. float_of_int n)
+
+let test_rng_int () =
+  let r = Rng.create 8 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 50_000 do
+    let k = Rng.int r 10 in
+    if k < 0 || k >= 10 then Alcotest.failf "int out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      (* each bucket expects 5000; allow 10% deviation *)
+      if c < 4500 || c > 5500 then Alcotest.failf "skewed bucket: %d" c)
+    counts;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_exponential () =
+  let r = Rng.create 9 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.exponential r ~rate:4. in
+    if x < 0. then Alcotest.fail "negative waiting time";
+    sum := !sum +. x
+  done;
+  checkf 0.01 "mean 1/rate" 0.25 (!sum /. float_of_int n);
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Rng.exponential: rate <= 0") (fun () ->
+      ignore (Rng.exponential r ~rate:0.))
+
+let test_rng_split () =
+  let a = Rng.create 10 in
+  let b = Rng.split a in
+  checkb "split decorrelates" false
+    (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+
+let test_rng_gaussian () =
+  let r = Rng.create 21 in
+  let n = 50_000 in
+  let sum = ref 0. and sum2 = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.gaussian r in
+    sum := !sum +. x;
+    sum2 := !sum2 +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  checkf 0.02 "zero mean" 0. mean;
+  checkf 0.03 "unit variance" 1. var
+
+let test_rng_poisson () =
+  let r = Rng.create 22 in
+  let sample mean n =
+    let sum = ref 0 in
+    for _ = 1 to n do
+      sum := !sum + Rng.poisson r ~mean
+    done;
+    float_of_int !sum /. float_of_int n
+  in
+  (* exact regime *)
+  checkf 0.1 "small mean" 3. (sample 3. 20_000);
+  (* normal-approximation regime *)
+  checkf 2. "large mean" 200. (sample 200. 5_000);
+  checki "zero mean" 0 (Rng.poisson r ~mean:0.);
+  Alcotest.check_raises "negative mean"
+    (Invalid_argument "Rng.poisson: mean < 0") (fun () ->
+      ignore (Rng.poisson r ~mean:(-1.)))
+
+(* ---- indexed heap ---- *)
+
+let test_heap_basic () =
+  let h = Indexed_heap.create 4 in
+  checki "size" 4 (Indexed_heap.size h);
+  Indexed_heap.update h 0 3.0;
+  Indexed_heap.update h 1 1.0;
+  Indexed_heap.update h 2 2.0;
+  let id, key = Indexed_heap.min h in
+  checki "min id" 1 id;
+  checkf 0. "min key" 1.0 key;
+  Indexed_heap.update h 1 10.0;
+  let id, _ = Indexed_heap.min h in
+  checki "new min after increase" 2 id;
+  Indexed_heap.update h 3 0.5;
+  let id, _ = Indexed_heap.min h in
+  checki "new min after decrease" 3 id;
+  checkb "valid" true (Indexed_heap.is_valid h)
+
+let prop_heap_random_ops =
+  QCheck.Test.make ~name:"heap stays valid and tracks the minimum"
+    ~count:200
+    QCheck.(list (pair (int_bound 15) (map float_of_int (int_bound 1000))))
+    (fun ops ->
+      let h = Indexed_heap.create 16 in
+      let keys = Array.make 16 infinity in
+      List.for_all
+        (fun (id, key) ->
+          Indexed_heap.update h id key;
+          keys.(id) <- key;
+          let min_id, min_key = Indexed_heap.min h in
+          let true_min = Array.fold_left Float.min infinity keys in
+          Indexed_heap.is_valid h
+          && min_key = true_min
+          && keys.(min_id) = true_min)
+        ops)
+
+(* ---- trace recorder ---- *)
+
+let test_recorder_hold () =
+  let r =
+    Trace.Recorder.create ~names:[| "x" |] ~initial:[| 1. |] ~t0:0.
+      ~t_end:10. ~dt:1.
+  in
+  Trace.Recorder.observe r 0. [| 1. |];
+  Trace.Recorder.observe r 2.5 [| 5. |];
+  Trace.Recorder.observe r 7. [| 2. |];
+  let tr = Trace.Recorder.finish r in
+  checki "samples" 11 (Trace.length tr);
+  (* zero-order hold: value at grid g is the state holding just before g *)
+  checkf 0. "t=0" 1. (Trace.value tr "x" 0);
+  checkf 0. "t=2" 1. (Trace.value tr "x" 2);
+  checkf 0. "t=3" 5. (Trace.value tr "x" 3);
+  checkf 0. "t=6" 5. (Trace.value tr "x" 6);
+  checkf 0. "t=7" 2. (Trace.value tr "x" 7);
+  checkf 0. "t=10" 2. (Trace.value tr "x" 10)
+
+let test_recorder_exact_grid_point () =
+  let r =
+    Trace.Recorder.create ~names:[| "x" |] ~initial:[| 0. |] ~t0:0.
+      ~t_end:4. ~dt:1.
+  in
+  Trace.Recorder.observe r 0. [| 0. |];
+  Trace.Recorder.observe r 2. [| 9. |];
+  let tr = Trace.Recorder.finish r in
+  (* a jump exactly on a grid point is visible at that point *)
+  checkf 0. "t=1" 0. (Trace.value tr "x" 1);
+  checkf 0. "t=2" 9. (Trace.value tr "x" 2)
+
+let test_recorder_backwards () =
+  let r =
+    Trace.Recorder.create ~names:[| "x" |] ~initial:[| 0. |] ~t0:0.
+      ~t_end:5. ~dt:1.
+  in
+  Trace.Recorder.observe r 3. [| 1. |];
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Trace.Recorder.observe: time went backwards")
+    (fun () -> Trace.Recorder.observe r 2. [| 2. |])
+
+let make_trace () =
+  let r =
+    Trace.Recorder.create ~names:[| "a"; "b" |] ~initial:[| 0.; 10. |]
+      ~t0:0. ~t_end:9. ~dt:1.
+  in
+  Trace.Recorder.observe r 0. [| 0.; 10. |];
+  Trace.Recorder.observe r 5. [| 4.; 6. |];
+  Trace.Recorder.finish r
+
+let test_trace_accessors () =
+  let tr = make_trace () in
+  Alcotest.(check (array string)) "names" [| "a"; "b" |] (Trace.names tr);
+  checki "length" 10 (Trace.length tr);
+  checkf 0. "time" 3. (Trace.time tr 3);
+  checkf 0. "mean a" 2. (Trace.mean tr "a");
+  checkf 0. "max b" 10. (Trace.max_value tr "b");
+  checkb "index" true (Trace.index tr "b" = Some 1);
+  checkb "missing" true (Trace.index tr "zz" = None);
+  let sub = Trace.sub tr ~from:5 ~until:10 in
+  checki "sub length" 5 (Trace.length sub);
+  checkf 0. "sub t0" 5. (Trace.t0 sub);
+  checkf 0. "sub value" 4. (Trace.value sub "a" 0)
+
+let test_trace_csv_roundtrip () =
+  let tr = make_trace () in
+  match Trace.of_csv (Trace.to_csv tr) with
+  | Error e -> Alcotest.fail e
+  | Ok tr' ->
+      Alcotest.(check (array string))
+        "names" (Trace.names tr) (Trace.names tr');
+      checki "length" (Trace.length tr) (Trace.length tr');
+      for k = 0 to Trace.length tr - 1 do
+        checkf 0. "a" (Trace.value tr "a" k) (Trace.value tr' "a" k);
+        checkf 0. "b" (Trace.value tr "b" k) (Trace.value tr' "b" k)
+      done
+
+let test_trace_statistics () =
+  let r =
+    Trace.Recorder.create ~names:[| "x" |] ~initial:[| 2. |] ~t0:0.
+      ~t_end:3. ~dt:1.
+  in
+  Trace.Recorder.observe r 0. [| 2. |];
+  Trace.Recorder.observe r 1. [| 4. |];
+  Trace.Recorder.observe r 2. [| 6. |];
+  Trace.Recorder.observe r 3. [| 8. |];
+  let tr = Trace.Recorder.finish r in
+  (* samples 2,4,6,8: mean 5, variance 5 *)
+  checkf 1e-9 "mean" 5. (Trace.mean tr "x");
+  checkf 1e-9 "variance" 5. (Trace.variance tr "x");
+  checkf 1e-9 "fano" 1. (Trace.fano_factor tr "x");
+  checki "crossings of 5" 1 (Trace.crossings tr "x" 5.);
+  checki "crossings of 3" 1 (Trace.crossings tr "x" 3.);
+  checki "crossings of 100" 0 (Trace.crossings tr "x" 100.)
+
+let test_trace_csv_errors () =
+  let fails s = match Trace.of_csv s with Ok _ -> false | Error _ -> true in
+  checkb "empty" true (fails "");
+  checkb "no species" true (fails "time\n0\n");
+  checkb "bad cell" true (fails "time,x\n0,zap\n");
+  checkb "wrong arity" true (fails "time,x\n0,1,2\n");
+  checkb "non-uniform" true (fails "time,x\n0,1\n1,1\n3,1\n")
+
+let prop_trace_split_concat =
+  QCheck.Test.make ~name:"sub/concat round trip at any split point"
+    ~count:100
+    QCheck.(int_bound 8)
+    (fun cut ->
+      let tr = make_trace () in
+      let cut = 1 + cut in
+      let left = Trace.sub tr ~from:0 ~until:cut in
+      let right = Trace.sub tr ~from:cut ~until:(Trace.length tr) in
+      Trace.to_csv (Trace.concat left right) = Trace.to_csv tr)
+
+let test_trace_concat_validation () =
+  let tr = make_trace () in
+  let left = Trace.sub tr ~from:0 ~until:5 in
+  (* gluing a non-contiguous piece must fail *)
+  let gap = Trace.sub tr ~from:6 ~until:10 in
+  (match Trace.concat left gap with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected non-contiguous failure");
+  let other =
+    let r =
+      Trace.Recorder.create ~names:[| "z" |] ~initial:[| 0. |] ~t0:5.
+        ~t_end:9. ~dt:1.
+    in
+    Trace.Recorder.finish r
+  in
+  match Trace.concat left other with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected species mismatch failure"
+
+(* ---- events ---- *)
+
+let prop_events_merge_sorted =
+  QCheck.Test.make ~name:"merge keeps schedules sorted by time" ~count:200
+    QCheck.(pair (list (int_bound 100)) (list (int_bound 100)))
+    (fun (xs, ys) ->
+      let schedule l =
+        Events.of_list
+          (List.map (fun t -> Events.set (float_of_int t) "s" 1.) l)
+      in
+      let merged = Events.merge (schedule xs) (schedule ys) in
+      let times =
+        List.map (fun e -> e.Events.e_time) (Events.to_list merged)
+      in
+      List.length times = List.length xs + List.length ys
+      && List.sort compare times = times)
+
+let test_events () =
+  let s =
+    Events.of_list
+      [ Events.set 5. "a" 1.; Events.set 1. "b" 2.; Events.set 5. "c" 3. ]
+  in
+  (match Events.to_list s with
+  | [ e1; e2; e3 ] ->
+      Alcotest.(check string) "sorted" "b" e1.Events.e_species;
+      (* stable for equal times *)
+      Alcotest.(check string) "stable 1" "a" e2.Events.e_species;
+      Alcotest.(check string) "stable 2" "c" e3.Events.e_species
+  | _ -> Alcotest.fail "wrong length");
+  checkf 0. "next_time" 1. (Events.next_time s);
+  checkf 0. "empty next_time" infinity (Events.next_time Events.empty);
+  let merged = Events.merge s (Events.of_list [ Events.set 0.5 "z" 0. ]) in
+  checkf 0. "merged head" 0.5 (Events.next_time merged)
+
+(* ---- compiled models ---- *)
+
+let birth_death ~k ~gamma =
+  Model.make ~id:"bd"
+    ~species:[ Model.species "X" 0. ]
+    ~parameters:[ Model.parameter "k" k; Model.parameter "g" gamma ]
+    ~reactions:
+      [
+        Model.reaction ~products:[ ("X", 1) ] ~rate:(Math.var "k") "birth";
+        Model.reaction
+          ~reactants:[ ("X", 1) ]
+          ~rate:Math.(var "g" * var "X")
+          "death";
+      ]
+    ()
+
+let test_compile () =
+  let c = Compiled.compile (birth_death ~k:10. ~gamma:0.1) in
+  checki "species" 1 (Array.length c.Compiled.c_names);
+  checki "reactions" 2 (Array.length c.Compiled.c_reactions);
+  let a = Compiled.propensities c [| 5. |] in
+  checkf 1e-12 "birth propensity" 10. a.(0);
+  checkf 1e-12 "death propensity" 0.5 a.(1);
+  (* parameters folded: no lookup of k at simulation time *)
+  checki "birth reads nothing" 0
+    (List.length c.Compiled.c_reactions.(0).Compiled.c_reads);
+  Alcotest.(check (list int))
+    "death reads X" [ 0 ]
+    c.Compiled.c_reactions.(1).Compiled.c_reads;
+  Alcotest.(check (list int))
+    "birth affects death" [ 1 ]
+    (Compiled.affected_reactions c 0);
+  checki "species index" 0 (Compiled.species_index c "X")
+
+let test_compile_negative_propensity_clamped () =
+  let m =
+    Model.make ~id:"neg"
+      ~species:[ Model.species "X" 0. ]
+      ~reactions:
+        [
+          Model.reaction ~products:[ ("X", 1) ]
+            ~rate:Math.(num 1. - var "X")
+            "r";
+        ]
+      ()
+  in
+  let c = Compiled.compile m in
+  let a = Compiled.propensities c [| 5. |] in
+  checkf 0. "clamped to zero" 0. a.(0)
+
+(* ---- simulation ---- *)
+
+let final trace id = Trace.value trace id (Trace.length trace - 1)
+
+let test_birth_death_fano () =
+  (* the stationary distribution of a birth-death process is Poisson:
+     Fano factor 1 *)
+  let m = birth_death ~k:20. ~gamma:0.2 in
+  let tr = Sim.run (Sim.config ~seed:14 ~t_end:3000. ()) m in
+  let late = Trace.sub tr ~from:500 ~until:(Trace.length tr) in
+  checkf 0.15 "poisson dispersion" 1. (Trace.fano_factor late "X")
+
+let test_sim_determinism () =
+  let m = birth_death ~k:10. ~gamma:0.1 in
+  let cfg = Sim.config ~seed:123 ~t_end:100. () in
+  let a = Sim.run cfg m and b = Sim.run cfg m in
+  checkf 0. "same seed, same trace" (final a "X") (final b "X");
+  let c = Sim.run (Sim.config ~seed:124 ~t_end:100. ()) m in
+  checkb "different seed, different path" true (final a "X" <> final c "X")
+
+let test_sim_birth_death_mean () =
+  (* stationary mean of a birth-death process is k/gamma = 100 *)
+  let m = birth_death ~k:10. ~gamma:0.1 in
+  let cfg = Sim.config ~seed:42 ~t_end:2000. () in
+  let tr = Sim.run cfg m in
+  let late = Trace.sub tr ~from:500 ~until:(Trace.length tr) in
+  checkf 5. "stationary mean" 100. (Trace.mean late "X")
+
+let test_sim_methods_agree () =
+  let m = birth_death ~k:10. ~gamma:0.1 in
+  let mean algorithm seed =
+    let cfg = Sim.config ~seed ~algorithm ~t_end:2000. () in
+    let tr = Sim.run cfg m in
+    Trace.mean (Trace.sub tr ~from:500 ~until:(Trace.length tr)) "X"
+  in
+  checkf 6. "direct vs next-reaction" (mean Sim.Direct 1)
+    (mean Sim.Next_reaction 2)
+
+let test_sim_events_applied () =
+  let m =
+    Model.make ~id:"clamp"
+      ~species:[ Model.species ~boundary:true "I" 0. ]
+      ~reactions:[] ()
+  in
+  let events =
+    Events.of_list [ Events.set 10. "I" 50.; Events.set 20. "I" 5. ]
+  in
+  let tr, stats = Sim.run_with_stats ~events (Sim.config ~t_end:30. ()) m in
+  checki "events applied" 2 stats.Sim.events_applied;
+  checkf 0. "before" 0. (Trace.value tr "I" 5);
+  checkf 0. "during" 50. (Trace.value tr "I" 15);
+  checkf 0. "after" 5. (Trace.value tr "I" 25)
+
+let test_sim_event_on_unknown_species () =
+  let m = birth_death ~k:1. ~gamma:1. in
+  let events = Events.of_list [ Events.set 1. "nope" 1. ] in
+  match Sim.run ~events (Sim.config ~t_end:5. ()) m with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_sim_boundary_untouched_by_reactions () =
+  (* An input species read by a reaction keeps its clamped value. *)
+  let m =
+    Model.make ~id:"b"
+      ~species:
+        [ Model.species ~boundary:true "I" 30.; Model.species "P" 0. ]
+      ~reactions:
+        [
+          Model.reaction ~products:[ ("P", 1) ] ~modifiers:[ "I" ]
+            ~rate:Math.(num 0.1 * var "I")
+            "prod";
+        ]
+      ()
+  in
+  let tr = Sim.run (Sim.config ~t_end:50. ()) m in
+  for k = 0 to Trace.length tr - 1 do
+    checkf 0. "clamped" 30. (Trace.value tr "I" k)
+  done;
+  checkb "P produced" true (final tr "P" > 0.)
+
+let test_sim_stats () =
+  let m = birth_death ~k:5. ~gamma:0.05 in
+  let _, stats = Sim.run_with_stats (Sim.config ~t_end:100. ()) m in
+  checkb "fired some reactions" true (stats.Sim.reactions_fired > 100);
+  checkb "final state reported" true
+    (List.mem_assoc "X" stats.Sim.final_state)
+
+let test_sim_zero_propensity () =
+  (* nothing can fire; events still advance the state *)
+  let m =
+    Model.make ~id:"stall"
+      ~species:
+        [ Model.species ~boundary:true "I" 0.; Model.species "P" 0. ]
+      ~reactions:
+        [
+          Model.reaction ~products:[ ("P", 1) ] ~modifiers:[ "I" ]
+            ~rate:Math.(num 0.2 * var "I")
+            "prod";
+        ]
+      ()
+  in
+  let events = Events.of_list [ Events.set 50. "I" 100. ] in
+  let tr = Sim.run ~events (Sim.config ~t_end:100. ()) m in
+  checkf 0. "quiet before event" 0. (Trace.value tr "P" 49);
+  checkb "production after event" true (Trace.value tr "P" 99 > 0.)
+
+let test_sim_pure_birth_next_reaction () =
+  (* Regression: a reaction whose propensity reads nothing it writes must
+     still get a fresh clock after firing (this hung before the fix). *)
+  let m =
+    Model.make ~id:"pure_birth"
+      ~species:[ Model.species "X" 0. ]
+      ~reactions:
+        [ Model.reaction ~products:[ ("X", 1) ] ~rate:(Math.num 5.) "birth" ]
+      ()
+  in
+  let cfg = Sim.config ~algorithm:Sim.Next_reaction ~t_end:100. () in
+  let tr = Sim.run cfg m in
+  checkf 40. "linear growth" 500. (final tr "X")
+
+let test_sim_tau_leap_mean () =
+  (* high-copy birth-death: the approximation must keep the mean *)
+  let m = birth_death ~k:1000. ~gamma:0.1 in
+  let cfg =
+    Sim.config ~seed:3
+      ~algorithm:(Sim.Tau_leaping { epsilon = 0.03 })
+      ~t_end:500. ()
+  in
+  let tr = Sim.run cfg m in
+  let late = Trace.sub tr ~from:250 ~until:(Trace.length tr) in
+  checkf 300. "stationary mean" 10_000. (Trace.mean late "X")
+
+let test_sim_tau_leap_determinism_and_events () =
+  let m = birth_death ~k:1000. ~gamma:0.1 in
+  let events = Events.of_list [ Events.set 100. "X" 0. ] in
+  let cfg =
+    Sim.config ~seed:8
+      ~algorithm:(Sim.Tau_leaping { epsilon = 0.03 })
+      ~t_end:200. ()
+  in
+  let a = Sim.run ~events cfg m and b = Sim.run ~events cfg m in
+  checkb "deterministic" true (Trace.to_csv a = Trace.to_csv b);
+  checkf 0. "event visible" 0. (Trace.value a "X" 100);
+  checkb "recovers" true (final a "X" > 5_000.)
+
+let test_sim_tau_leap_bad_epsilon () =
+  let m = birth_death ~k:1. ~gamma:1. in
+  let cfg =
+    Sim.config ~algorithm:(Sim.Tau_leaping { epsilon = 2. }) ~t_end:5. ()
+  in
+  match Sim.run cfg m with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ---- population ---- *)
+
+let test_population_mean () =
+  let m = birth_death ~k:10. ~gamma:0.1 in
+  let cfg = Sim.config ~seed:31 ~t_end:500. () in
+  let mean, cells = Glc_ssa.Population.run ~cells:20 cfg m in
+  checki "twenty cells" 20 (List.length cells);
+  (* cells are genuinely different trajectories *)
+  let finals = List.map (fun tr -> final tr "X") cells in
+  checkb "independent cells" true
+    (List.length (List.sort_uniq compare finals) > 10);
+  (* the averaged signal is smoother: variance well below a single cell *)
+  let late tr = Trace.sub tr ~from:250 ~until:(Trace.length tr) in
+  let mean_var = Trace.variance (late mean) "X" in
+  let cell_var = Trace.variance (late (List.hd cells)) "X" in
+  checkb "averaging reduces noise" true (mean_var < cell_var /. 4.);
+  checkf 5. "mean level preserved" 100. (Trace.mean (late mean) "X")
+
+let test_population_determinism_and_validation () =
+  let m = birth_death ~k:5. ~gamma:0.1 in
+  let cfg = Sim.config ~seed:9 ~t_end:100. () in
+  let a, _ = Glc_ssa.Population.run ~cells:3 cfg m in
+  let b, _ = Glc_ssa.Population.run ~cells:3 cfg m in
+  checkb "reproducible" true (Trace.to_csv a = Trace.to_csv b);
+  (match Glc_ssa.Population.run ~cells:0 cfg m with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cells 0");
+  match Glc_ssa.Population.mean_of [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty mean"
+
+(* ---- ode ---- *)
+
+let test_ode_config_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Glc_ssa.Ode.config ~step:0. ~t_end:10. ());
+  expect_invalid (fun () ->
+      Glc_ssa.Ode.config ~step:2. ~dt:1. ~t_end:10. ());
+  expect_invalid (fun () -> Glc_ssa.Ode.config ~t_end:(-1.) ())
+
+let test_ode_birth_death () =
+  (* dx/dt = k - g x settles at k/g exactly, with no noise *)
+  let m = birth_death ~k:10. ~gamma:0.1 in
+  let tr = Glc_ssa.Ode.run (Glc_ssa.Ode.config ~t_end:500. ()) m in
+  checkf 0.01 "deterministic steady state" 100. (final tr "X");
+  (* analytic transient: x(t) = 100 (1 - e^-0.1t) *)
+  checkf 0.1 "transient at t=10" (100. *. (1. -. Float.exp (-1.)))
+    (Trace.value tr "X" 10)
+
+let test_ode_events () =
+  let m =
+    Model.make ~id:"e"
+      ~species:[ Model.species ~boundary:true "I" 0.; Model.species "P" 0. ]
+      ~reactions:
+        [
+          Model.reaction ~products:[ ("P", 1) ] ~modifiers:[ "I" ]
+            ~rate:Math.(num 0.1 * var "I")
+            "prod";
+        ]
+      ()
+  in
+  let events = Events.of_list [ Events.set 50. "I" 10. ] in
+  let tr = Glc_ssa.Ode.run ~events (Glc_ssa.Ode.config ~t_end:100. ()) m in
+  checkf 0. "input steps sharply" 10. (Trace.value tr "I" 50);
+  checkf 1e-6 "quiet before" 0. (Trace.value tr "P" 50);
+  checkf 0.01 "linear accumulation after" 49.
+    (Trace.value tr "P" 99)
+
+let test_ode_steady_state () =
+  let m = birth_death ~k:10. ~gamma:0.1 in
+  match Glc_ssa.Ode.steady_state m with
+  | [ ("X", x) ] -> checkf 0.01 "operating point" 100. x
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_sim_next_reaction_with_events () =
+  let m = birth_death ~k:10. ~gamma:0.1 in
+  let events = Events.of_list [ Events.set 500. "X" 0. ] in
+  let cfg =
+    Sim.config ~seed:11 ~algorithm:Sim.Next_reaction ~t_end:1000. ()
+  in
+  let tr = Sim.run ~events cfg m in
+  (* the clamp resets the population; it must recover to its mean *)
+  checkf 0. "reset visible" 0. (Trace.value tr "X" 500);
+  checkb "recovers" true (final tr "X" > 50.)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "glc_ssa"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick
+            test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "float ranges" `Quick test_rng_float_range;
+          Alcotest.test_case "uniform mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "int" `Quick test_rng_int;
+          Alcotest.test_case "exponential" `Quick test_rng_exponential;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          Alcotest.test_case "gaussian" `Quick test_rng_gaussian;
+          Alcotest.test_case "poisson" `Quick test_rng_poisson;
+        ] );
+      ( "indexed_heap",
+        Alcotest.test_case "basic" `Quick test_heap_basic
+        :: qc [ prop_heap_random_ops ] );
+      ( "trace",
+        [
+          Alcotest.test_case "zero-order hold" `Quick test_recorder_hold;
+          Alcotest.test_case "jump on grid point" `Quick
+            test_recorder_exact_grid_point;
+          Alcotest.test_case "time goes backwards" `Quick
+            test_recorder_backwards;
+          Alcotest.test_case "accessors" `Quick test_trace_accessors;
+          Alcotest.test_case "statistics" `Quick test_trace_statistics;
+          Alcotest.test_case "csv round trip" `Quick test_trace_csv_roundtrip;
+          Alcotest.test_case "csv errors" `Quick test_trace_csv_errors;
+          Alcotest.test_case "concat validation" `Quick
+            test_trace_concat_validation;
+        ]
+        @ qc [ prop_trace_split_concat ] );
+      ( "events",
+        Alcotest.test_case "schedules" `Quick test_events
+        :: qc [ prop_events_merge_sorted ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "compile" `Quick test_compile;
+          Alcotest.test_case "negative propensity clamped" `Quick
+            test_compile_negative_propensity_clamped;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "determinism" `Quick test_sim_determinism;
+          Alcotest.test_case "birth-death Fano factor" `Slow
+            test_birth_death_fano;
+          Alcotest.test_case "birth-death mean" `Slow
+            test_sim_birth_death_mean;
+          Alcotest.test_case "methods agree" `Slow test_sim_methods_agree;
+          Alcotest.test_case "events applied" `Quick test_sim_events_applied;
+          Alcotest.test_case "unknown event species" `Quick
+            test_sim_event_on_unknown_species;
+          Alcotest.test_case "boundary clamped" `Quick
+            test_sim_boundary_untouched_by_reactions;
+          Alcotest.test_case "stats" `Quick test_sim_stats;
+          Alcotest.test_case "zero propensity stall" `Quick
+            test_sim_zero_propensity;
+          Alcotest.test_case "next-reaction with events" `Quick
+            test_sim_next_reaction_with_events;
+          Alcotest.test_case "pure birth via next-reaction" `Quick
+            test_sim_pure_birth_next_reaction;
+          Alcotest.test_case "tau-leap mean" `Quick test_sim_tau_leap_mean;
+          Alcotest.test_case "tau-leap determinism and events" `Quick
+            test_sim_tau_leap_determinism_and_events;
+          Alcotest.test_case "tau-leap bad epsilon" `Quick
+            test_sim_tau_leap_bad_epsilon;
+        ] );
+      ( "population",
+        [
+          Alcotest.test_case "mean of cells" `Slow test_population_mean;
+          Alcotest.test_case "determinism and validation" `Quick
+            test_population_determinism_and_validation;
+        ] );
+      ( "ode",
+        [
+          Alcotest.test_case "config validation" `Quick
+            test_ode_config_validation;
+          Alcotest.test_case "birth-death analytic" `Quick
+            test_ode_birth_death;
+          Alcotest.test_case "events" `Quick test_ode_events;
+          Alcotest.test_case "steady state" `Quick test_ode_steady_state;
+        ] );
+    ]
