@@ -371,6 +371,64 @@ let verify_cmd =
       term_result
         (const run $ protocol_term $ fov_opt $ all_opt $ circuit_opt))
 
+(* ---- ensemble ---- *)
+
+let ensemble_cmd =
+  let module Ensemble = Glc_engine.Ensemble in
+  let run protocol fov replicates jobs json circuit =
+    match
+      Ensemble.config ~replicates ~jobs ~seed:protocol.Protocol.seed
+        ~protocol ~fov_ud:fov ()
+    with
+    | exception Invalid_argument m -> Error (`Msg m)
+    | cfg ->
+        let progress =
+          (* live counter on stderr only when a human is watching; the
+             report on stdout stays byte-deterministic either way *)
+          if Unix.isatty Unix.stderr then
+            Glc_engine.Progress.counter ~total:replicates ()
+          else Glc_engine.Progress.null
+        in
+        let t = Ensemble.run ~progress cfg circuit in
+        if json then print_string (Ensemble.to_json t ^ "\n")
+        else Format.printf "%a@." Ensemble.pp t;
+        if Array.length t.Ensemble.replicates = 0 then
+          Error (`Msg "all replicates failed")
+        else if not t.Ensemble.consensus_verified then
+          Error (`Msg "consensus logic does not match the intent")
+        else Ok ()
+  in
+  let replicates_opt =
+    Arg.value
+      (Arg.opt Arg.int 16
+         (Arg.info [ "replicates"; "n" ] ~docv:"N"
+            ~doc:"Number of independent SSA replicates."))
+  in
+  let jobs_opt =
+    Arg.value
+      (Arg.opt Arg.int 0
+         (Arg.info [ "jobs"; "j" ] ~docv:"J"
+            ~doc:"Worker domains; 0 sizes the pool to the hardware. The \
+                  report is bit-identical for any value."))
+  in
+  let json_opt =
+    Arg.value
+      (Arg.flag
+         (Arg.info [ "json" ]
+            ~doc:"Emit the machine-readable JSON report instead of text."))
+  in
+  Cmd.v
+    (Cmd.info "ensemble"
+       ~doc:"Run N independent stochastic replicates of an experiment \
+             across a pool of CPU domains and aggregate them into a \
+             statistically qualified verification verdict (mean/CI of \
+             PFoBE, majority-vote consensus logic, flaky combinations). \
+             Deterministic: --seed fixes the result for any --jobs.")
+    Term.(
+      term_result
+        (const run $ protocol_term $ fov_opt $ replicates_opt $ jobs_opt
+        $ json_opt $ circuit_arg))
+
 (* ---- threshold ---- *)
 
 let threshold_cmd =
@@ -582,8 +640,8 @@ let main =
              circuits (Baig & Madsen, DATE 2017).")
     [
       list_cmd; synth_cmd; simulate_cmd; analyze_cmd; verify_cmd;
-      threshold_cmd; delay_cmd; export_cmd; vcd_cmd; probe_cmd; sweep_cmd;
-      robustness_cmd;
+      ensemble_cmd; threshold_cmd; delay_cmd; export_cmd; vcd_cmd;
+      probe_cmd; sweep_cmd; robustness_cmd;
     ]
 
 let () = exit (Cmd.eval main)

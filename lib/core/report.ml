@@ -49,3 +49,36 @@ let pp_verification ppf (v : Verify.report) =
 
 let result_to_string ~output_name r =
   Format.asprintf "%a" (pp_result ~output_name) r
+
+module Json = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let string s = "\"" ^ escape s ^ "\""
+
+  let float x =
+    if not (Float.is_finite x) then "null"
+    else if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else begin
+      (* shortest decimal that round-trips, so equal floats always print
+         identically (the ensemble's byte-for-byte determinism check) *)
+      let s15 = Printf.sprintf "%.15g" x in
+      if float_of_string s15 = x then s15 else Printf.sprintf "%.17g" x
+    end
+
+  let bool b = if b then "true" else "false"
+end

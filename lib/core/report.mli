@@ -16,3 +16,19 @@ val pp_combination : arity:int -> Format.formatter -> int -> unit
 (** Binary rendering of a combination, I1 first (e.g. [011]). *)
 
 val result_to_string : output_name:string -> Analyzer.result -> string
+
+(** Deterministic JSON fragments, used by machine-readable reports (the
+    ensemble engine's [--json] output). *)
+module Json : sig
+  val escape : string -> string
+  (** JSON string-literal escaping (content only, no quotes). *)
+
+  val string : string -> string
+  (** Quoted, escaped string literal. *)
+
+  val float : float -> string
+  (** Shortest decimal that round-trips — equal floats always render to
+      identical bytes. Non-finite values render as [null]. *)
+
+  val bool : bool -> string
+end

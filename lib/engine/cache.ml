@@ -1,0 +1,37 @@
+module Compiled = Glc_ssa.Compiled
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, Compiled.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); table = Hashtbl.create 16; hits = 0;
+    misses = 0 }
+
+let compiled t ~key build =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some c ->
+          t.hits <- t.hits + 1;
+          c
+      | None ->
+          t.misses <- t.misses + 1;
+          let c = Compiled.compile (build ()) in
+          Hashtbl.add t.table key c;
+          c)
+
+let hits t = t.hits
+let misses t = t.misses
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.mutex

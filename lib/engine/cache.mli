@@ -1,0 +1,31 @@
+(** A compiled-model cache.
+
+    {!Glc_ssa.Compiled.compile} resolves names and folds parameters into
+    propensity closures — worth doing once per circuit, not once per
+    replicate (or once per ensemble in a sweep). Compiled models are
+    immutable after construction and safe to share across domains (the
+    simulator copies the initial state vector per run), so one cache can
+    back a whole multicore ensemble.
+
+    Entries are keyed by a caller-chosen string; the key must uniquely
+    identify the kinetic model (the ensemble engine uses the circuit
+    name). *)
+
+module Model := Glc_model.Model
+module Compiled := Glc_ssa.Compiled
+
+type t
+
+val create : unit -> t
+
+val compiled : t -> key:string -> (unit -> Model.t) -> Compiled.t
+(** [compiled c ~key build] returns the cached compilation for [key], or
+    builds the model, compiles it, stores it and returns it. [build] is
+    only called on a miss. Thread-safe; a miss holds the cache lock
+    while compiling, so concurrent callers of the same key compile
+    once. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val clear : t -> unit

@@ -1,0 +1,309 @@
+module Circuit = Glc_gates.Circuit
+module Protocol = Glc_dvasim.Protocol
+module Experiment = Glc_dvasim.Experiment
+module Truth_table = Glc_logic.Truth_table
+module Analyzer = Glc_core.Analyzer
+module Verify = Glc_core.Verify
+module Report = Glc_core.Report
+module Sim = Glc_ssa.Sim
+module Compiled = Glc_ssa.Compiled
+
+type config = {
+  replicates : int;
+  jobs : int;
+  seed : int;
+  protocol : Protocol.t;
+  fov_ud : float;
+}
+
+let config ?(replicates = 16) ?(jobs = 0) ?(seed = 42)
+    ?(protocol = Protocol.default)
+    ?(fov_ud = Analyzer.default_params.Analyzer.fov_ud) () =
+  if replicates < 1 then invalid_arg "Ensemble.config: replicates < 1";
+  if jobs < 0 then invalid_arg "Ensemble.config: jobs < 0";
+  { replicates; jobs; seed; protocol; fov_ud }
+
+type replicate = {
+  rep_index : int;
+  rep_result : Analyzer.result;
+  rep_verify : Verify.report;
+}
+
+type failure = { fail_index : int; fail_error : string }
+
+type case_summary = {
+  cs_row : int;
+  cs_minterm_votes : int;
+  cs_consensus : bool;
+  cs_agreement : float;
+  cs_flaky : bool;
+  cs_fov : Stats.summary;
+}
+
+type t = {
+  name : string;
+  arity : int;
+  seed : int;
+  requested : int;
+  expected : Truth_table.t;
+  replicates : replicate array;
+  failures : failure array;
+  fitness : Stats.summary;
+  verified_count : int;
+  consensus : Truth_table.t;
+  consensus_verified : bool;
+  cases : case_summary array;
+  flaky : int list;
+}
+
+let aggregate ~name ~seed ~requested ~expected ~replicates ~failures =
+  let arity = Truth_table.arity expected in
+  List.iter
+    (fun rep ->
+      if rep.rep_result.Analyzer.arity <> arity then
+        invalid_arg "Ensemble.aggregate: replicate arity mismatch")
+    replicates;
+  let replicates =
+    Array.of_list
+      (List.sort (fun a b -> compare a.rep_index b.rep_index) replicates)
+  in
+  let failures =
+    Array.of_list
+      (List.sort (fun a b -> compare a.fail_index b.fail_index) failures)
+  in
+  let n = Array.length replicates in
+  let fitness =
+    Stats.of_array
+      (Array.map (fun r -> r.rep_result.Analyzer.fitness) replicates)
+  in
+  let verified_count =
+    Array.fold_left
+      (fun acc r -> if r.rep_verify.Verify.verified then acc + 1 else acc)
+      0 replicates
+  in
+  let cases =
+    Array.init (1 lsl arity) (fun row ->
+        let votes =
+          Array.fold_left
+            (fun acc r ->
+              if Truth_table.output r.rep_verify.Verify.extracted row then
+                acc + 1
+              else acc)
+            0 replicates
+        in
+        (* strict majority: ties vote low, like the analyzer's eq. (2) *)
+        let consensus = 2 * votes > n in
+        let agreeing = if consensus then votes else n - votes in
+        {
+          cs_row = row;
+          cs_minterm_votes = votes;
+          cs_consensus = consensus;
+          cs_agreement = Stats.fraction ~count:agreeing ~total:n;
+          cs_flaky = votes > 0 && votes < n;
+          cs_fov =
+            Stats.of_array
+              (Array.map
+                 (fun r ->
+                   r.rep_result.Analyzer.cases.(row).Analyzer.fov_est)
+                 replicates);
+        })
+  in
+  let consensus =
+    Truth_table.of_minterms ~arity
+      (List.filter_map
+         (fun c -> if c.cs_consensus then Some c.cs_row else None)
+         (Array.to_list cases))
+  in
+  {
+    name;
+    arity;
+    seed;
+    requested;
+    expected;
+    replicates;
+    failures;
+    fitness;
+    verified_count;
+    consensus;
+    consensus_verified = Truth_table.equal consensus expected;
+    cases;
+    flaky =
+      List.filter_map
+        (fun c -> if c.cs_flaky then Some c.cs_row else None)
+        (Array.to_list cases);
+  }
+
+let run ?pool ?(progress = Progress.null) ?cache (cfg : config)
+    (circuit : Circuit.t) =
+  if cfg.replicates < 1 then invalid_arg "Ensemble.run: replicates < 1";
+  let protocol = cfg.protocol in
+  let compiled =
+    match cache with
+    | Some c ->
+        Cache.compiled c ~key:circuit.Circuit.name (fun () ->
+            Circuit.model circuit)
+    | None -> Compiled.compile (Circuit.model circuit)
+  in
+  let events = Experiment.input_schedule protocol circuit in
+  let sim_cfg =
+    Sim.config ~dt:protocol.Protocol.dt ~algorithm:protocol.Protocol.algorithm
+      ~t_end:protocol.Protocol.total_time ()
+  in
+  let params =
+    { Analyzer.threshold = protocol.Protocol.threshold; fov_ud = cfg.fov_ud }
+  in
+  let rngs = Seeds.derive ~seed:cfg.seed cfg.replicates in
+  let task i rng =
+    match
+      let trace, _stats = Sim.run_compiled_rng ~events ~rng sim_cfg compiled in
+      let r =
+        Analyzer.run ~params
+          {
+            Analyzer.trace;
+            inputs = circuit.Circuit.inputs;
+            output = circuit.Circuit.output;
+          }
+      in
+      let v = Verify.against ~expected:circuit.Circuit.expected r in
+      { rep_index = i; rep_result = r; rep_verify = v }
+    with
+    | rep ->
+        Progress.report progress (Progress.Replicate_ok i);
+        rep
+    | exception e ->
+        Progress.report progress
+          (Progress.Replicate_failed (i, Printexc.to_string e));
+        raise e
+  in
+  let outcomes =
+    match pool with
+    | Some p -> Pool.map p task rngs
+    | None ->
+        let jobs = if cfg.jobs = 0 then Pool.default_jobs () else cfg.jobs in
+        Pool.with_pool ~jobs (fun p -> Pool.map p task rngs)
+  in
+  let replicates, failures =
+    Array.fold_right
+      (fun outcome (reps, fails) ->
+        match outcome with
+        | Ok rep -> (rep :: reps, fails)
+        | Error (e : Pool.error) ->
+            ( reps,
+              { fail_index = e.Pool.task; fail_error = e.Pool.message }
+              :: fails ))
+      outcomes ([], [])
+  in
+  aggregate ~name:circuit.Circuit.name ~seed:cfg.seed
+    ~requested:cfg.replicates ~expected:circuit.Circuit.expected ~replicates
+    ~failures
+
+(* ---- reports ---- *)
+
+let pp ppf t =
+  let n = Array.length t.replicates in
+  Format.fprintf ppf "@[<v>ensemble %s: %d replicate(s) requested (seed %d), \
+                      %d completed, %d failed@,"
+    t.name t.requested t.seed n (Array.length t.failures);
+  Format.fprintf ppf "PFoBE: %a@," Stats.pp t.fitness;
+  Format.fprintf ppf "replicates individually verified: %d/%d@,"
+    t.verified_count n;
+  Format.fprintf ppf "consensus: %a — %s (intent %a)@,"
+    Truth_table.pp_code t.consensus
+    (if t.consensus_verified then "VERIFIED against the intent"
+     else "DOES NOT match the intent")
+    Truth_table.pp_code t.expected;
+  Format.fprintf ppf "@,%-*s %9s %7s %6s %18s@," (max t.arity 4) "case"
+    "votes" "agree" "flaky" "FOV mean ± sd";
+  Array.iter
+    (fun c ->
+      Format.fprintf ppf "%-*s %5d/%-3d %6.1f%% %6s %10.4f ± %.4f@,"
+        (max t.arity 4)
+        (Format.asprintf "%a" (Report.pp_combination ~arity:t.arity)
+           c.cs_row)
+        c.cs_minterm_votes n
+        (100. *. c.cs_agreement)
+        (if c.cs_flaky then "FLAKY" else "-")
+        c.cs_fov.Stats.mean c.cs_fov.Stats.sd)
+    t.cases;
+  (match t.flaky with
+  | [] -> Format.fprintf ppf "@,flaky combinations: none"
+  | rows ->
+      Format.fprintf ppf
+        "@,flaky combinations (replicates disagree): %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf -> Report.pp_combination ~arity:t.arity ppf))
+        rows);
+  Array.iter
+    (fun f ->
+      Format.fprintf ppf "@,replicate %d FAILED: %s" f.fail_index
+        f.fail_error)
+    t.failures;
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  let open Report.Json in
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  let field ?(last = false) k v =
+    add (string k);
+    add ":";
+    add v;
+    if not last then add ","
+  in
+  let array_of to_item items =
+    "[" ^ String.concat "," (List.map to_item items) ^ "]"
+  in
+  let summary (s : Stats.summary) =
+    Printf.sprintf "{\"n\":%d,\"mean\":%s,\"sd\":%s,\"ci95\":%s,\"min\":%s,\"max\":%s}"
+      s.Stats.n (float s.Stats.mean) (float s.Stats.sd) (float s.Stats.ci95)
+      (float s.Stats.min) (float s.Stats.max)
+  in
+  let combination row =
+    string
+      (Format.asprintf "%a" (Report.pp_combination ~arity:t.arity) row)
+  in
+  add "{";
+  field "circuit" (string t.name);
+  field "arity" (string_of_int t.arity);
+  field "seed" (string_of_int t.seed);
+  field "requested" (string_of_int t.requested);
+  field "completed" (string_of_int (Array.length t.replicates));
+  field "failed" (string_of_int (Array.length t.failures));
+  field "expected_code" (string_of_int (Truth_table.to_code t.expected));
+  field "consensus_code" (string_of_int (Truth_table.to_code t.consensus));
+  field "consensus_verified" (bool t.consensus_verified);
+  field "verified_count" (string_of_int t.verified_count);
+  field "fitness" (summary t.fitness);
+  field "flaky_rows"
+    (array_of string_of_int t.flaky);
+  field "cases"
+    (array_of
+       (fun c ->
+         Printf.sprintf
+           "{\"row\":%d,\"combination\":%s,\"minterm_votes\":%d,\"consensus\":%s,\"agreement\":%s,\"flaky\":%s,\"fov\":%s}"
+           c.cs_row (combination c.cs_row) c.cs_minterm_votes
+           (bool c.cs_consensus)
+           (float c.cs_agreement)
+           (bool c.cs_flaky)
+           (summary c.cs_fov))
+       (Array.to_list t.cases));
+  field "replicates"
+    (array_of
+       (fun r ->
+         Printf.sprintf
+           "{\"index\":%d,\"fitness\":%s,\"verified\":%s,\"extracted_code\":%d,\"minterms\":%s}"
+           r.rep_index
+           (float r.rep_result.Analyzer.fitness)
+           (bool r.rep_verify.Verify.verified)
+           (Truth_table.to_code r.rep_verify.Verify.extracted)
+           (array_of string_of_int r.rep_result.Analyzer.minterms))
+       (Array.to_list t.replicates));
+  field ~last:true "failures"
+    (array_of
+       (fun f ->
+         Printf.sprintf "{\"index\":%d,\"error\":%s}" f.fail_index
+           (string f.fail_error))
+       (Array.to_list t.failures));
+  add "}";
+  Buffer.contents buf

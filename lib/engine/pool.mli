@@ -1,0 +1,44 @@
+(** A fixed-size pool of worker domains fed from a shared work queue.
+
+    Workers are spawned once at {!create} and blocked on a
+    [Mutex]/[Condition] queue between jobs, so repeated {!map} calls
+    reuse the same domains. Tasks must be independent: results land in a
+    caller-indexed slot, which makes the output order (and therefore any
+    aggregation over it) independent of the worker count and of
+    scheduling. A task that raises is captured as an {!error} in its own
+    slot instead of killing the pool or the run.
+
+    Do not call {!map} from inside a pool task of the same pool — the
+    caller blocks until all its tasks finish, so nested submission can
+    deadlock once every worker is blocked waiting. *)
+
+type t
+
+type error = {
+  task : int;  (** index of the failed task *)
+  message : string;  (** [Printexc.to_string] of the exception *)
+  backtrace : string;  (** may be empty when backtraces are off *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware-sized default. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawns [jobs] worker domains (default {!default_jobs}).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Number of worker domains. *)
+
+val map : t -> (int -> 'a -> 'b) -> 'a array -> ('b, error) result array
+(** [map pool f arr] computes [f i arr.(i)] for every [i] on the pool
+    and waits for all of them. Slot [i] of the result is [Ok] of the
+    value or [Error] capturing the exception the task raised.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** Drains nothing, joins all workers. Idempotent. Pending {!map} calls
+    from other threads must have completed first. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] — shutdown happens on exceptions too. *)

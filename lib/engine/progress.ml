@@ -1,0 +1,26 @@
+type event = Replicate_ok of int | Replicate_failed of int * string
+
+type t = { mutex : Mutex.t; deliver : event -> unit }
+
+let null = { mutex = Mutex.create (); deliver = ignore }
+
+let callback f = { mutex = Mutex.create (); deliver = f }
+
+let counter ?(oc = stderr) ~total () =
+  let seen = ref 0 and failed = ref 0 in
+  let deliver ev =
+    (match ev with
+    | Replicate_ok _ -> ()
+    | Replicate_failed _ -> incr failed);
+    incr seen;
+    Printf.fprintf oc "\r%d/%d replicates%s%!" !seen total
+      (if !failed > 0 then Printf.sprintf " (%d failed)" !failed else "");
+    if !seen >= total then Printf.fprintf oc "\n%!"
+  in
+  { mutex = Mutex.create (); deliver }
+
+let report t ev =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> t.deliver ev)

@@ -1,0 +1,23 @@
+(** Thread-safe progress reporting for ensemble runs.
+
+    Workers report from their own domains; a sink serializes delivery
+    with an internal mutex so callbacks never interleave. *)
+
+type event =
+  | Replicate_ok of int  (** replicate index that completed *)
+  | Replicate_failed of int * string  (** index and error message *)
+
+type t
+
+val null : t
+(** Discards every event. *)
+
+val counter : ?oc:out_channel -> total:int -> unit -> t
+(** Live [completed/total] counter (with a failure tally when nonzero),
+    rewritten in place on [oc] (default [stderr]) and finished with a
+    newline once all [total] events arrived. *)
+
+val callback : (event -> unit) -> t
+(** Custom sink; calls are serialized by the sink's mutex. *)
+
+val report : t -> event -> unit

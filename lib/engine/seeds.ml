@@ -1,0 +1,16 @@
+module Rng = Glc_ssa.Rng
+
+let derive ~seed n =
+  if n < 0 then invalid_arg "Seeds.derive: negative count";
+  let root = Rng.create seed in
+  (* explicit loop: Array.init's evaluation order is unspecified, and the
+     i-th stream must be the i-th split of the root *)
+  let streams = Array.make n root in
+  for i = 0 to n - 1 do
+    streams.(i) <- Rng.split root
+  done;
+  streams
+
+let replicate ~seed i =
+  if i < 0 then invalid_arg "Seeds.replicate: negative index";
+  (derive ~seed (i + 1)).(i)

@@ -1,0 +1,22 @@
+(** Deterministic per-replicate RNG derivation.
+
+    Replicate [i] of an ensemble draws from the [i]-th successive
+    {!Glc_ssa.Rng.split} of a root generator built from the root seed —
+    a counter-based scheme, so the stream of replicate [i] depends only
+    on [(seed, i)]. Derivation happens up front in the coordinating
+    domain; workers receive ready-made generators. Consequently results
+    are bit-identical for any worker count and any scheduling order. *)
+
+module Rng := Glc_ssa.Rng
+
+val derive : seed:int -> int -> Rng.t array
+(** [derive ~seed n] is the generators of replicates [0 .. n-1].
+    Prefix-stable: [derive ~seed n] agrees with the first [n] entries of
+    [derive ~seed m] for any [m >= n].
+    @raise Invalid_argument if [n < 0]. *)
+
+val replicate : seed:int -> int -> Rng.t
+(** [replicate ~seed i] is the generator of replicate [i] alone, equal
+    to [(derive ~seed (i + 1)).(i)]. O(i) — intended for spot checks and
+    tests, not hot paths.
+    @raise Invalid_argument if [i < 0]. *)

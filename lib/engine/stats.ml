@@ -1,0 +1,46 @@
+type summary = {
+  n : int;
+  mean : float;
+  sd : float;
+  ci95 : float;
+  min : float;
+  max : float;
+}
+
+let of_array xs =
+  let n = Array.length xs in
+  if n = 0 then { n = 0; mean = 0.; sd = 0.; ci95 = 0.; min = 0.; max = 0. }
+  else begin
+    let sum = Array.fold_left ( +. ) 0. xs in
+    let mean = sum /. float_of_int n in
+    let sd =
+      if n < 2 then 0.
+      else
+        let ss =
+          Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+        in
+        Float.sqrt (ss /. float_of_int (n - 1))
+    in
+    let ci95 =
+      if n < 2 then 0. else 1.96 *. sd /. Float.sqrt (float_of_int n)
+    in
+    {
+      n;
+      mean;
+      sd;
+      ci95;
+      min = Array.fold_left Float.min xs.(0) xs;
+      max = Array.fold_left Float.max xs.(0) xs;
+    }
+  end
+
+let of_list xs = of_array (Array.of_list xs)
+
+let fraction ~count ~total =
+  if total = 0 then 0. else float_of_int count /. float_of_int total
+
+let pp ppf s =
+  if s.n = 0 then Format.pp_print_string ppf "n/a (no samples)"
+  else
+    Format.fprintf ppf "%.2f ± %.2f (95%% CI ±%.2f, range %.2f..%.2f, n=%d)"
+      s.mean s.sd s.ci95 s.min s.max s.n

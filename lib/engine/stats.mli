@@ -1,0 +1,22 @@
+(** Small-sample summary statistics for ensemble aggregation. *)
+
+type summary = {
+  n : int;  (** number of samples *)
+  mean : float;  (** 0 when [n = 0] *)
+  sd : float;  (** sample standard deviation (n-1); 0 when [n < 2] *)
+  ci95 : float;
+      (** half-width of the normal-approximation 95% confidence interval
+          of the mean, [1.96 * sd / sqrt n]; 0 when [n < 2] *)
+  min : float;  (** 0 when [n = 0] *)
+  max : float;  (** 0 when [n = 0] *)
+}
+
+val of_array : float array -> summary
+
+val of_list : float list -> summary
+
+val fraction : count:int -> total:int -> float
+(** [count /. total], 0 when [total = 0]. *)
+
+val pp : Format.formatter -> summary -> unit
+(** e.g. [97.23 ± 0.45 (95% CI ±0.22, range 96.10..98.01, n=16)]. *)

@@ -130,6 +130,13 @@ let species_index t id =
 let propensities t state =
   Array.map (fun r -> Float.max 0. (r.c_propensity state)) t.c_reactions
 
+let propensities_into t state a =
+  if Array.length a <> Array.length t.c_reactions then
+    invalid_arg "Compiled.propensities_into: wrong buffer length";
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- Float.max 0. (t.c_reactions.(i).c_propensity state)
+  done
+
 let affected_reactions t ri =
   let r = t.c_reactions.(ri) in
   List.concat_map (fun (s, _) -> t.c_dependents.(s)) r.c_deltas

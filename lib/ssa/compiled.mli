@@ -36,6 +36,13 @@ val propensities : t -> float array -> float array
     clamped to zero (a kinetic law may dip below zero transiently in
     ill-parameterised models). *)
 
+val propensities_into : t -> float array -> float array -> unit
+(** [propensities_into t state a] is {!propensities} writing into the
+    caller's buffer [a] — the simulator's inner loop reuses one buffer
+    per trajectory instead of allocating every step, which keeps minor
+    GCs (stop-the-world under domains) off the multicore hot path.
+    @raise Invalid_argument if [a] is not one slot per reaction. *)
+
 val affected_reactions : t -> int -> int list
 (** Reactions whose propensity may change when the given reaction fires
     (including itself if it reads a species it writes). *)

@@ -14,7 +14,22 @@ val copy : t -> t
 
 val split : t -> t
 (** A new generator derived from (and advancing) [t]; streams are
-    decorrelated, used to give each experiment repetition its own RNG. *)
+    decorrelated, used to give each experiment repetition its own RNG.
+
+    {b Stream-independence contract} (relied on by the ensemble engine's
+    counter-based seed derivation, and pinned by QCheck tests):
+    {ul
+    {- {e Deterministic}: [split] is a pure function of the parent's
+       current state — two parents in equal states yield byte-identical
+       child streams (and leave the parents in equal states).}
+    {- {e Counter-based}: the [i]-th successive [split] of a parent
+       depends only on the parent's initial state and [i], never on how
+       many children are eventually derived or which child is consumed
+       first — so replicate [i] of an ensemble sees the same stream
+       whatever the worker count.}
+    {- {e Decorrelated}: the child seeds a fresh splitmix64 expansion
+       from one 64-bit parent draw, so parent and children (and siblings)
+       do not collide on any practical draw horizon.}} *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -69,10 +69,11 @@ let select a target =
 let run_direct rng (c : Compiled.t) cfg events recorder =
   let state = Array.copy c.c_initial in
   let fired = ref 0 and applied = ref 0 in
+  let a = Array.make (Array.length c.c_reactions) 0. in
   Trace.Recorder.observe recorder cfg.t0 state;
   let rec loop t events =
     if t < cfg.t_end then begin
-      let a = Compiled.propensities c state in
+      Compiled.propensities_into c state a;
       let a0 = sum a in
       let t_ev = Events.next_time events in
       if a0 <= 0. then begin
@@ -254,9 +255,10 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
   in
   let events = catch_up events in
   Trace.Recorder.observe recorder cfg.t0 state;
+  let a = Array.make n_reactions 0. in
   let rec loop t events =
     if t < cfg.t_end then begin
-      let a = Compiled.propensities c state in
+      Compiled.propensities_into c state a;
       let a0 = sum a in
       let t_ev = Events.next_time events in
       if a0 <= 0. then begin
@@ -327,8 +329,7 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
   loop cfg.t0 events;
   (state, !fired, !applied)
 
-let run_compiled ?(events = Events.empty) cfg (c : Compiled.t) =
-  let rng = Rng.create cfg.seed in
+let run_compiled_rng ?(events = Events.empty) ~rng cfg (c : Compiled.t) =
   let recorder =
     Trace.Recorder.create ~names:c.c_names ~initial:c.c_initial ~t0:cfg.t0
       ~t_end:cfg.t_end ~dt:cfg.dt
@@ -345,6 +346,9 @@ let run_compiled ?(events = Events.empty) cfg (c : Compiled.t) =
     Array.to_list (Array.mapi (fun i id -> (id, state.(i))) c.c_names)
   in
   (trace, { reactions_fired = fired; events_applied = applied; final_state })
+
+let run_compiled ?events cfg c =
+  run_compiled_rng ?events ~rng:(Rng.create cfg.seed) cfg c
 
 let run_with_stats ?events cfg model =
   run_compiled ?events cfg (Compiled.compile model)

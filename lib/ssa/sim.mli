@@ -50,3 +50,11 @@ val run_compiled :
   ?events:Events.schedule -> config -> Compiled.t -> Trace.t * stats
 (** Reuses an already compiled model (the benchmark harness simulates the
     same circuit many times). *)
+
+val run_compiled_rng :
+  ?events:Events.schedule -> rng:Rng.t -> config -> Compiled.t ->
+  Trace.t * stats
+(** Like {!run_compiled} but draws randomness from a caller-supplied
+    generator instead of seeding a fresh one from [config.seed] (which is
+    ignored). The ensemble engine uses this to give every replicate its
+    own {!Rng.split}-derived stream while sharing one compiled model. *)

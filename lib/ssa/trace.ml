@@ -3,6 +3,9 @@ type t = {
   t0 : float;
   dt : float;
   data : float array array; (* species-major: data.(s).(k) *)
+  mutable memo : (string, int) Hashtbl.t option;
+      (* lazy name->index table; [names] is immutable so the table is
+         built at most once (an idempotent race under domains) *)
 }
 
 let names tr = tr.names
@@ -11,14 +14,19 @@ let t0 tr = tr.t0
 let dt tr = tr.dt
 let time tr k = tr.t0 +. (float_of_int k *. tr.dt)
 
-let index tr id =
-  let n = Array.length tr.names in
-  let rec find i =
-    if i >= n then None
-    else if String.equal tr.names.(i) id then Some i
-    else find (i + 1)
-  in
-  find 0
+let index_table tr =
+  match tr.memo with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create (2 * Array.length tr.names) in
+      (* keep the first occurrence, as the linear scan did *)
+      Array.iteri
+        (fun i id -> if not (Hashtbl.mem h id) then Hashtbl.add h id i)
+        tr.names;
+      tr.memo <- Some h;
+      h
+
+let index tr id = Hashtbl.find_opt (index_table tr) id
 
 let index_exn tr id =
   match index tr id with Some i -> i | None -> raise Not_found
@@ -158,7 +166,7 @@ let of_csv s =
                     (List.mapi (fun k x -> (k, x)) parsed)
                 in
                 if not uniform then Error "CSV time grid is not uniform"
-                else Ok { names; t0 = t_first; dt; data }
+                else Ok { names; t0 = t_first; dt; data; memo = None }
               end)
       | _ -> Error "CSV header must start with 'time' and list species")
 
@@ -225,5 +233,6 @@ module Recorder = struct
 
   let finish r =
     fill_until r infinity;
-    { names = r.r_names; t0 = r.r_t0; dt = r.r_dt; data = r.r_data }
+    { names = r.r_names; t0 = r.r_t0; dt = r.r_dt; data = r.r_data;
+      memo = None }
 end

@@ -29,7 +29,9 @@ val column : t -> string -> float array
     @raise Not_found if the species was not recorded. *)
 
 val index : t -> string -> int option
-(** Position of a species in {!names}. *)
+(** Position of a species in {!names} (first occurrence). Lookups are
+    O(1) amortized: a name→index table is built lazily on the first
+    lookup and reused for the life of the trace. *)
 
 val sub : t -> from:int -> until:int -> t
 (** Samples [from .. until - 1] as a new trace.

@@ -95,6 +95,45 @@ let test_rng_split () =
   checkb "split decorrelates" false
     (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
 
+(* The stream-independence contract documented in rng.mli, which the
+   ensemble engine's counter-based seed derivation relies on. *)
+
+let prop_rng_split_deterministic =
+  QCheck.Test.make ~name:"split is deterministic given the parent state"
+    ~count:50 QCheck.small_int (fun seed ->
+      let a = Rng.create seed and b = Rng.create seed in
+      let sa = Rng.split a and sb = Rng.split b in
+      let children_agree = ref true in
+      for _ = 1 to 100 do
+        if not (Int64.equal (Rng.bits64 sa) (Rng.bits64 sb)) then
+          children_agree := false
+      done;
+      (* splitting advanced both parents identically *)
+      !children_agree && Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+
+let prop_rng_split_no_collisions =
+  QCheck.Test.make ~name:"split streams don't collide on first 1k draws"
+    ~count:20 QCheck.small_int (fun seed ->
+      let parent = Rng.create seed in
+      let s1 = Rng.split parent in
+      let s2 = Rng.split parent in
+      (* no 64-bit output may appear in two different streams *)
+      let seen = Hashtbl.create 8192 in
+      let clean = ref true in
+      let drain tag rng =
+        for _ = 1 to 1_000 do
+          let v = Rng.bits64 rng in
+          (match Hashtbl.find_opt seen v with
+          | Some owner when owner <> tag -> clean := false
+          | Some _ | None -> ());
+          Hashtbl.replace seen v tag
+        done
+      in
+      drain `Sibling1 s1;
+      drain `Sibling2 s2;
+      drain `Parent parent;
+      !clean)
+
 let test_rng_gaussian () =
   let r = Rng.create 21 in
   let n = 50_000 in
@@ -642,7 +681,9 @@ let () =
           Alcotest.test_case "split" `Quick test_rng_split;
           Alcotest.test_case "gaussian" `Quick test_rng_gaussian;
           Alcotest.test_case "poisson" `Quick test_rng_poisson;
-        ] );
+        ]
+        @ qc [ prop_rng_split_deterministic; prop_rng_split_no_collisions ]
+      );
       ( "indexed_heap",
         Alcotest.test_case "basic" `Quick test_heap_basic
         :: qc [ prop_heap_random_ops ] );
