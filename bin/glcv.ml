@@ -3,9 +3,36 @@
    Command-line front end for the library: list the benchmark circuits,
    synthesise circuits from truth-table codes, run virtual-laboratory
    experiments, analyse and verify their logic, estimate thresholds and
-   propagation delays, and export SBML/SBOL models. *)
+   propagation delays, export SBML/SBOL models, and run resumable
+   batch-verification campaigns.
+
+   Exit codes: 0 success; 1 a verification verdict was negative (verify,
+   ensemble, campaign report); 3 a campaign is incomplete; 123 any
+   error reported on stderr (a runtime failure such as an unknown
+   circuit, or a command-line mistake — cmdliner's eval' maps both to
+   the same code); 125 an unexpected internal error. Codes 1 and 3 are
+   deliberate and documented per command so scripts and CI can branch
+   on the result. *)
 
 open Cmdliner
+
+(* Verdict exits, distinct from cmdliner's error codes (123/124/125):
+   scripts branch on "ran fine, circuit is wrong" without parsing
+   output. *)
+let exit_not_verified = 1
+let exit_incomplete = 3
+
+let verdict_exits =
+  Cmd.Exit.info exit_not_verified
+    ~doc:"the circuit (or at least one campaign job) did $(b,not) verify \
+          against its intended logic — the run itself succeeded."
+  :: Cmd.Exit.defaults
+
+let campaign_exits =
+  Cmd.Exit.info exit_incomplete
+    ~doc:"the campaign is incomplete: jobs are still pending (a \
+          $(b,--limit) cut-off) or failed to run."
+  :: verdict_exits
 
 module Circuit = Glc_gates.Circuit
 module Benchmarks = Glc_gates.Benchmarks
@@ -121,7 +148,8 @@ let list_cmd =
         in
         Format.printf "%-14s %7d %6d %11d %9s@." name inputs gates comps
           code)
-      (Benchmarks.summary ())
+      (Benchmarks.summary ());
+    0
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List the 15 benchmark circuits of the paper.")
@@ -207,7 +235,7 @@ let synth_cmd =
         close_out oc;
         Format.printf "wrote %s@." path
     | None -> ());
-    Ok ()
+    Ok 0
   in
   let expr_opt =
     Arg.value
@@ -268,7 +296,7 @@ let simulate_cmd =
             Format.printf "  %-10s %8.1f@." id
               (Glc_ssa.Trace.value tr id (n - 1)))
           (Glc_ssa.Trace.names tr));
-    Ok ()
+    Ok 0
   in
   let csv_opt =
     Arg.value
@@ -293,7 +321,7 @@ let analyze_cmd =
     Format.printf "%a@."
       (Report.pp_result ~output_name:circuit.Circuit.output)
       r;
-    Ok ()
+    Ok 0
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -326,9 +354,11 @@ let verify_cmd =
             r.Analyzer.fitness c.Circuit.output Glc_logic.Expr.pp
             r.Analyzer.expr)
         (Benchmarks.all ());
-      if !failures > 0 then
-        Error (`Msg (Printf.sprintf "%d circuit(s) not verified" !failures))
-      else Ok ()
+      if !failures > 0 then begin
+        Format.printf "%d circuit(s) not verified@." !failures;
+        Ok exit_not_verified
+      end
+      else Ok 0
     end
     else
       match circuit with
@@ -339,13 +369,13 @@ let verify_cmd =
           Format.printf "%a@.%a@."
             (Report.pp_result ~output_name:c.Circuit.output)
             r Report.pp_verification v;
-          if v.Verify.verified then Ok ()
+          if v.Verify.verified then Ok 0
           else begin
             List.iter
               (Format.printf "  %a@."
                  (Verify.pp_finding ~arity:r.Analyzer.arity))
               (Verify.diagnose r v);
-            Error (`Msg "not verified")
+            Ok exit_not_verified
           end
   in
   let all_opt =
@@ -365,8 +395,11 @@ let verify_cmd =
          (Arg.info [] ~docv:"CIRCUIT" ~doc:"Circuit to verify."))
   in
   Cmd.v
-    (Cmd.info "verify"
-       ~doc:"Verify extracted logic against the intended truth table.")
+    (Cmd.info "verify" ~exits:verdict_exits
+       ~doc:"Verify extracted logic against the intended truth table. \
+             Exits 0 when the circuit verifies and 1 when it does not \
+             (with a per-state diagnosis), so scripts and CI can branch \
+             on the verdict.")
     Term.(
       term_result
         (const run $ protocol_term $ fov_opt $ all_opt $ circuit_opt))
@@ -395,8 +428,8 @@ let ensemble_cmd =
         if Array.length t.Ensemble.replicates = 0 then
           Error (`Msg "all replicates failed")
         else if not t.Ensemble.consensus_verified then
-          Error (`Msg "consensus logic does not match the intent")
-        else Ok ()
+          Ok exit_not_verified
+        else Ok 0
   in
   let replicates_opt =
     Arg.value
@@ -418,12 +451,14 @@ let ensemble_cmd =
             ~doc:"Emit the machine-readable JSON report instead of text."))
   in
   Cmd.v
-    (Cmd.info "ensemble"
+    (Cmd.info "ensemble" ~exits:verdict_exits
        ~doc:"Run N independent stochastic replicates of an experiment \
              across a pool of CPU domains and aggregate them into a \
              statistically qualified verification verdict (mean/CI of \
              PFoBE, majority-vote consensus logic, flaky combinations). \
-             Deterministic: --seed fixes the result for any --jobs.")
+             Deterministic: --seed fixes the result for any --jobs. \
+             Exits 0 when the consensus logic matches the intent and 1 \
+             when it does not; execution failures exit 123.")
     Term.(
       term_result
         (const run $ protocol_term $ fov_opt $ replicates_opt $ jobs_opt
@@ -435,7 +470,7 @@ let threshold_cmd =
   let run protocol circuit =
     let est = Glc_dvasim.Threshold.estimate ~protocol circuit in
     Format.printf "%a@." Glc_dvasim.Threshold.pp est;
-    Ok ()
+    Ok 0
   in
   Cmd.v
     (Cmd.info "threshold"
@@ -450,7 +485,7 @@ let delay_cmd =
     match Glc_dvasim.Prop_delay.worst_case ~protocol circuit with
     | Some m ->
         Format.printf "%a@." Glc_dvasim.Prop_delay.pp m;
-        Ok ()
+        Ok 0
     | None ->
         Error (`Msg "no measurable output transition for this circuit")
   in
@@ -473,7 +508,7 @@ let export_cmd =
           c.Circuit.document;
         Format.printf "wrote %s.{sbml,sbol}.xml@." base)
       (Benchmarks.all ());
-    Ok ()
+    Ok 0
   in
   let dir_opt =
     Arg.value
@@ -493,7 +528,7 @@ let vcd_cmd =
     Glc_core.Vcd.write_file ~threshold:protocol.Protocol.threshold out
       e.Experiment.trace;
     Format.printf "wrote %s (open with gtkwave)@." out;
-    Ok ()
+    Ok 0
   in
   let out_opt =
     Arg.value
@@ -535,7 +570,7 @@ let probe_cmd =
             (Analyzer.minimised_expr r)
         end)
       (Glc_ssa.Trace.names e.Experiment.trace);
-    Ok ()
+    Ok 0
   in
   Cmd.v
     (Cmd.info "probe"
@@ -565,7 +600,7 @@ let sweep_cmd =
           (if v.Verify.verified then "verified" else "WRONG")
           r.Analyzer.fitness total_var Glc_logic.Expr.pp r.Analyzer.expr)
       thresholds;
-    Ok ()
+    Ok 0
   in
   let thresholds_opt =
     Arg.value
@@ -611,7 +646,7 @@ let robustness_cmd =
     in
     Format.printf "parametric yield (spread %.0f%%): %a@." (spread *. 100.)
       Glc_core.Robustness.pp_yield y;
-    Ok ()
+    Ok 0
   in
   let trials_opt =
     Arg.value
@@ -633,6 +668,208 @@ let robustness_cmd =
       term_result
         (const run $ protocol_term $ trials_opt $ spread_opt $ circuit_arg))
 
+(* ---- campaign ---- *)
+
+(* Resumable batch verification over a declarative grid (lib/campaign):
+   plan the grid, persist every job result in an on-disk store, journal
+   the lifecycle, resume after a kill, and render a deterministic
+   report. *)
+
+module Campaign = struct
+  module Grid = Glc_campaign.Grid
+  module Store = Glc_campaign.Store
+  module Journal = Glc_campaign.Journal
+  module Runner = Glc_campaign.Runner
+  module Resume = Glc_campaign.Resume
+
+  let dir_opt =
+    Arg.required
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "dir"; "d" ] ~docv:"DIR"
+            ~doc:"Campaign directory (manifest, journal, result store)."))
+
+  let jobs_opt =
+    Arg.value
+      (Arg.opt Arg.int 0
+         (Arg.info [ "jobs"; "j" ] ~docv:"J"
+            ~doc:"Worker domains per job; 0 sizes the pool to the \
+                  hardware. Results are bit-identical for any value."))
+
+  let limit_opt =
+    Arg.value
+      (Arg.opt (Arg.some Arg.int) None
+         (Arg.info [ "limit" ] ~docv:"N"
+            ~doc:"Stop after N jobs (the rest stay pending; exit 3). \
+                  Useful for incremental draining and for testing \
+                  resume."))
+
+  let progress () =
+    if Unix.isatty Unix.stderr then Some (Runner.counter_progress ())
+    else None
+
+  let summarize (store : Store.t) (spec : Grid.spec)
+      (s : Runner.summary) =
+    Format.printf
+      "campaign %s: attempted %d job(s), %d succeeded, %d failed, %d \
+       still pending@."
+      (Store.dir store) s.Runner.ran s.Runner.succeeded s.Runner.failed
+      s.Runner.remaining;
+    ignore spec;
+    if s.Runner.failed > 0 || s.Runner.remaining > 0 then exit_incomplete
+    else 0
+
+  let drain ~jobs ~limit ~dir =
+    match Resume.run ~jobs ?limit ?on_progress:(progress ()) ~dir () with
+    | Error m -> Error (`Msg m)
+    | Ok (store, spec, summary) -> Ok (summarize store spec summary)
+
+  let run_cmd =
+    let run dir circuits thresholds fovs input_highs replicates seed total
+        hold jobs limit =
+      match
+        let grid =
+          Grid.make ~thresholds ~fov_uds:fovs
+            ~input_highs:
+              (match input_highs with
+              | [] -> [ None ]
+              | hs -> List.map Option.some hs)
+            ~replicate_counts:replicates circuits
+        in
+        Grid.spec ~seed ~total_time:total ~hold_time:hold grid
+      with
+      | exception Invalid_argument m -> Error (`Msg m)
+      | spec -> (
+          match Store.create ~dir (Grid.spec_to_json spec) with
+          | Error m -> Error (`Msg m)
+          | Ok _store -> drain ~jobs ~limit ~dir)
+    in
+    let circuits_opt =
+      Arg.required
+        (Arg.opt (Arg.some (Arg.list Arg.string)) None
+           (Arg.info [ "circuits"; "c" ] ~docv:"NAME,..."
+              ~doc:"Circuits to sweep: benchmark names (see \
+                    $(b,glcv list)) or 0xNN truth-table codes."))
+    in
+    let thresholds_opt =
+      Arg.value
+        (Arg.opt (Arg.list Arg.float)
+           [ Protocol.default.Protocol.threshold ]
+           (Arg.info [ "thresholds" ] ~docv:"T,..."
+              ~doc:"Logic-threshold axis of the grid."))
+    in
+    let fovs_opt =
+      Arg.value
+        (Arg.opt (Arg.list Arg.float) [ 0.25 ]
+           (Arg.info [ "fovs" ] ~docv:"F,..."
+              ~doc:"FOV_UD axis of the grid (eq. 1)."))
+    in
+    let input_highs_opt =
+      Arg.value
+        (Arg.opt (Arg.list Arg.float) []
+           (Arg.info [ "input-highs" ] ~docv:"H,..."
+              ~doc:"Logic-1 input-amount axis; default: the threshold \
+                    value, as in the paper."))
+    in
+    let replicates_opt =
+      Arg.value
+        (Arg.opt (Arg.list Arg.int) [ 16 ]
+           (Arg.info [ "replicates"; "n" ] ~docv:"N,..."
+              ~doc:"Ensemble-size axis of the grid."))
+    in
+    Cmd.v
+      (Cmd.info "run" ~exits:campaign_exits
+         ~doc:"Plan a fresh campaign (circuits × thresholds × FOV_UD × \
+               input-high × replicates), persist its manifest under \
+               $(b,--dir), and drain the jobs. Each job's result is \
+               journaled and stored atomically, so a killed campaign \
+               loses at most the in-flight job — $(b,glcv campaign \
+               resume) finishes the rest. Deterministic: the final \
+               report depends only on the manifest and the root seed.")
+      Term.(
+        term_result
+          (const run $ dir_opt $ circuits_opt $ thresholds_opt $ fovs_opt
+          $ input_highs_opt $ replicates_opt $ seed_opt $ total_opt
+          $ hold_opt $ jobs_opt $ limit_opt))
+
+  let resume_cmd =
+    let run dir jobs limit = drain ~jobs ~limit ~dir in
+    Cmd.v
+      (Cmd.info "resume" ~exits:campaign_exits
+         ~doc:"Resume an interrupted campaign: re-read the manifest and \
+               journal, skip every job whose result is already stored, \
+               re-queue and run the rest. With the same root seed the \
+               final report is byte-identical to an uninterrupted run.")
+      Term.(term_result (const run $ dir_opt $ jobs_opt $ limit_opt))
+
+  let status_cmd =
+    let run dir =
+      match Resume.status ~dir with
+      | Error m -> Error (`Msg m)
+      | Ok st ->
+          Format.printf "campaign %s: %d/%d job(s) done, %d pending@." dir
+            st.Resume.s_done st.Resume.s_total
+            (List.length st.Resume.s_pending);
+          List.iter
+            (fun (id, n) ->
+              if n > 1 then
+                Format.printf "  %s: %d attempt(s)@." id n)
+            st.Resume.s_attempts;
+          List.iter
+            (fun (id, e) -> Format.printf "  %s: last failure: %s@." id e)
+            st.Resume.s_failures;
+          List.iter
+            (fun id -> Format.printf "  pending: %s@." id)
+            st.Resume.s_pending;
+          Ok (if st.Resume.s_done = st.Resume.s_total then 0
+              else exit_incomplete)
+    in
+    Cmd.v
+      (Cmd.info "status" ~exits:campaign_exits
+         ~doc:"Progress of a campaign from its store and journal: done \
+               vs pending jobs, attempt counts, last failures. Exits 0 \
+               when complete, 3 otherwise.")
+      Term.(term_result (const run $ dir_opt))
+
+  let report_cmd =
+    let run dir json =
+      match Resume.load ~dir with
+      | Error m -> Error (`Msg m)
+      | Ok (store, spec) ->
+          if json then print_string (Store.report_json store spec ^ "\n")
+          else Format.printf "%a@." Store.pp_report (store, spec);
+          let ls = Store.lines store spec in
+          Ok
+            (if List.exists (fun l -> not l.Store.l_done) ls then
+               exit_incomplete
+             else if List.exists (fun l -> not l.Store.l_verified) ls then
+               exit_not_verified
+             else 0)
+    in
+    let json_opt =
+      Arg.value
+        (Arg.flag
+           (Arg.info [ "json" ]
+              ~doc:"Emit the machine-readable JSON report. Deterministic: \
+                    a resumed campaign renders byte-identically to an \
+                    uninterrupted one with the same seed."))
+    in
+    Cmd.v
+      (Cmd.info "report" ~exits:campaign_exits
+         ~doc:"Render the campaign report from the result store, in grid \
+               order. Exits 0 when every job is done and verified, 1 \
+               when some job's consensus logic is wrong, 3 when jobs \
+               are missing.")
+      Term.(term_result (const run $ dir_opt $ json_opt))
+
+  let group =
+    Cmd.group
+      (Cmd.info "campaign" ~exits:campaign_exits
+         ~doc:"Resumable batch-verification campaigns with an on-disk \
+               result store: $(b,run), $(b,status), $(b,resume), \
+               $(b,report).")
+      [ run_cmd; resume_cmd; status_cmd; report_cmd ]
+end
+
 let main =
   Cmd.group
     (Cmd.info "glcv" ~version:"1.0.0"
@@ -641,7 +878,10 @@ let main =
     [
       list_cmd; synth_cmd; simulate_cmd; analyze_cmd; verify_cmd;
       ensemble_cmd; threshold_cmd; delay_cmd; export_cmd; vcd_cmd;
-      probe_cmd; sweep_cmd; robustness_cmd;
+      probe_cmd; sweep_cmd; robustness_cmd; Campaign.group;
     ]
 
-let () = exit (Cmd.eval main)
+(* term_err: all evaluation errors — runtime failures (unknown circuit,
+   unreadable campaign dir, ...) and usage mistakes alike — exit with
+   some_error (123), matching the manpages' EXIT STATUS section. *)
+let () = exit (Cmd.eval' ~term_err:Cmd.Exit.some_error main)

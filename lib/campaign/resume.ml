@@ -1,0 +1,65 @@
+let load ~dir =
+  let ( let* ) = Result.bind in
+  let* store, manifest = Store.load ~dir in
+  let* spec = Grid.spec_of_json manifest in
+  Ok (store, spec)
+
+let pending ~store jobs =
+  List.filter (fun job -> not (Store.mem store ~id:(Grid.job_id job))) jobs
+
+type status = {
+  s_total : int;
+  s_done : int;
+  s_pending : string list;  (** ids, grid order *)
+  s_attempts : (string * int) list;  (** started-events per id, grid order *)
+  s_failures : (string * string) list;  (** last failure per id, grid order *)
+}
+
+let status ~dir =
+  let ( let* ) = Result.bind in
+  let* store, spec = load ~dir in
+  let jobs = Grid.expand spec.Grid.grid in
+  let events = Journal.read ~dir in
+  let count_started id =
+    List.length
+      (List.filter
+         (function Journal.Started id' -> id' = id | _ -> false)
+         events)
+  in
+  let last_failure id =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Journal.Failed (id', e) when id' = id -> Some e
+        | _ -> acc)
+      None events
+  in
+  let ids = List.map Grid.job_id jobs in
+  let done_ids = List.filter (fun id -> Store.mem store ~id) ids in
+  Ok
+    {
+      s_total = List.length ids;
+      s_done = List.length done_ids;
+      s_pending = List.filter (fun id -> not (Store.mem store ~id)) ids;
+      s_attempts =
+        List.filter_map
+          (fun id ->
+            match count_started id with 0 -> None | n -> Some (id, n))
+          ids;
+      s_failures =
+        List.filter_map
+          (fun id -> Option.map (fun e -> (id, e)) (last_failure id))
+          ids;
+    }
+
+let run ?jobs ?limit ?on_progress ~dir () =
+  let ( let* ) = Result.bind in
+  let* store, spec = load ~dir in
+  let todo = pending ~store (Grid.expand spec.Grid.grid) in
+  let journal = Journal.open_ ~dir in
+  let summary =
+    Fun.protect
+      ~finally:(fun () -> Journal.close journal)
+      (fun () -> Runner.run ?jobs ?limit ?on_progress ~store ~journal spec todo)
+  in
+  Ok (store, spec, summary)

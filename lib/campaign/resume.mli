@@ -1,0 +1,41 @@
+(** Restarting an interrupted campaign.
+
+    Resume is pure bookkeeping over the on-disk state: re-read the
+    manifest, re-expand the grid (deterministically), skip every job
+    whose result is present and parseable in the {!Store}, and re-queue
+    the rest — including jobs that previously failed or were in flight
+    when the process died. Because job seeds are content-derived
+    ({!Grid.job_seed}), the re-run jobs produce exactly the bytes they
+    would have produced in the uninterrupted run, and the final
+    {!Store.report_json} of a resumed campaign is byte-identical to an
+    uninterrupted one with the same root seed. *)
+
+val load : dir:string -> (Store.t * Grid.spec, string) result
+(** Opens the campaign directory and parses its manifest. *)
+
+val pending : store:Store.t -> Grid.job list -> Grid.job list
+(** The jobs without a stored result, in grid order. *)
+
+type status = {
+  s_total : int;
+  s_done : int;
+  s_pending : string list;  (** ids, grid order *)
+  s_attempts : (string * int) list;  (** started-events per id, grid order *)
+  s_failures : (string * string) list;  (** last failure per id, grid order *)
+}
+
+val status : dir:string -> (status, string) result
+(** Store + journal summary: how far the campaign got, which jobs were
+    attempted how often, and the last recorded failure per job. *)
+
+val run :
+  ?jobs:int ->
+  ?limit:int ->
+  ?on_progress:(Runner.progress -> unit) ->
+  dir:string ->
+  unit ->
+  (Store.t * Grid.spec * Runner.summary, string) result
+(** Loads the campaign, computes the pending set and drains it through
+    {!Runner.run} (appending to the existing journal). Also the
+    implementation of a {e fresh} run — a fresh campaign is a resume
+    with an empty store. *)

@@ -1,0 +1,158 @@
+module Json = Glc_core.Report.Json
+module Circuit = Glc_gates.Circuit
+module Benchmarks = Glc_gates.Benchmarks
+module Cello = Glc_gates.Cello
+module Protocol = Glc_dvasim.Protocol
+module Pool = Glc_engine.Pool
+module Cache = Glc_engine.Cache
+module Ensemble = Glc_engine.Ensemble
+module Stats = Glc_engine.Stats
+
+type progress = {
+  p_completed : int;
+  p_failed : int;
+  p_total : int;
+  p_elapsed : float;
+  p_eta : float option;
+}
+
+type summary = {
+  ran : int;
+  succeeded : int;
+  failed : int;
+  remaining : int;
+}
+
+let resolve name =
+  match Benchmarks.find name with
+  | Some c -> Ok c
+  | None -> (
+      match int_of_string_opt name with
+      | Some code when code >= 0 && code <= 0xFF -> (
+          match Cello.of_code code with
+          | c -> Ok c
+          | exception Invalid_argument m -> Error m)
+      | Some _ | None ->
+          Error
+            (Printf.sprintf
+               "unknown circuit %S (benchmark name or a code like 0x1C)"
+               name))
+
+let job_protocol (spec : Grid.spec) (job : Grid.job) =
+  match job.Grid.j_input_high with
+  | None ->
+      Protocol.make ~total_time:spec.Grid.total_time
+        ~hold_time:spec.Grid.hold_time ~threshold:job.Grid.j_threshold ()
+  | Some input_high ->
+      Protocol.make ~total_time:spec.Grid.total_time
+        ~hold_time:spec.Grid.hold_time ~threshold:job.Grid.j_threshold
+        ~input_high ()
+
+(* The stored document: the job's coordinates and seed, a top-level
+   fitness_mean convenience field, and the full deterministic ensemble
+   report. Byte-deterministic for a given (spec, job). *)
+let job_document ~seed (job : Grid.job) (t : Ensemble.t) =
+  Printf.sprintf
+    "{\"id\":%s,\"circuit\":%s,\"threshold\":%s,\"fov_ud\":%s,\"input_high\":%s,\"replicates\":%d,\"seed\":%d,\"fitness_mean\":%s,\"ensemble\":%s}"
+    (Json.string (Grid.job_id job))
+    (Json.string job.Grid.j_circuit)
+    (Json.float job.Grid.j_threshold)
+    (Json.float job.Grid.j_fov_ud)
+    (match job.Grid.j_input_high with
+    | None -> "null"
+    | Some h -> Json.float h)
+    job.Grid.j_replicates seed
+    (Json.float t.Ensemble.fitness.Stats.mean)
+    (Ensemble.to_json t)
+
+let run_job ~pool ~cache (spec : Grid.spec) (job : Grid.job) =
+  match resolve job.Grid.j_circuit with
+  | Error m -> failwith m
+  | Ok circuit ->
+      let protocol = job_protocol spec job in
+      let seed = Grid.job_seed ~seed:spec.Grid.seed job in
+      let cfg =
+        Ensemble.config ~replicates:job.Grid.j_replicates ~seed ~protocol
+          ~fov_ud:job.Grid.j_fov_ud ()
+      in
+      let t = Ensemble.run ~pool ~cache cfg circuit in
+      job_document ~seed job t
+
+let null_progress (_ : progress) = ()
+
+let run ?(jobs = 0) ?limit ?(on_progress = null_progress) ~store ~journal
+    (spec : Grid.spec) pending =
+  let todo =
+    match limit with
+    | None -> List.length pending
+    | Some k ->
+        if k < 0 then invalid_arg "Runner.run: limit < 0"
+        else min k (List.length pending)
+  in
+  List.iter
+    (fun job -> Journal.append journal (Journal.Scheduled (Grid.job_id job)))
+    pending;
+  let started_at = Unix.gettimeofday () in
+  let succeeded = ref 0 and failed = ref 0 in
+  let report () =
+    let completed = !succeeded + !failed in
+    let elapsed = Unix.gettimeofday () -. started_at in
+    on_progress
+      {
+        p_completed = completed;
+        p_failed = !failed;
+        p_total = todo;
+        p_elapsed = elapsed;
+        p_eta =
+          (if completed = 0 then None
+           else
+             Some
+               (elapsed /. float_of_int completed
+               *. float_of_int (todo - completed)));
+      }
+  in
+  let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
+  Pool.with_pool ~jobs (fun pool ->
+      (* one compiled-model cache across the whole campaign: jobs over
+         the same circuit and kinetics (e.g. differing only in FOV_UD
+         or replicate count) compile once *)
+      let cache = Cache.create () in
+      List.iteri
+        (fun i job ->
+          if i < todo then begin
+            let id = Grid.job_id job in
+            Journal.append journal (Journal.Started id);
+            (match run_job ~pool ~cache spec job with
+            | doc ->
+                Store.put store ~id doc;
+                Journal.append journal (Journal.Done id);
+                incr succeeded
+            | exception e ->
+                (* one bad model degrades the campaign, it does not
+                   kill it: record the error, move on *)
+                Journal.append journal
+                  (Journal.Failed (id, Printexc.to_string e));
+                incr failed);
+            report ()
+          end)
+        pending);
+  {
+    ran = todo;
+    succeeded = !succeeded;
+    failed = !failed;
+    remaining = List.length pending - todo;
+  }
+
+let counter_progress ?(oc = stderr) () =
+  fun p ->
+    let eta =
+      match p.p_eta with
+      | None -> ""
+      | Some eta -> Printf.sprintf ", ETA %.0fs" eta
+    in
+    Printf.fprintf oc "\rcampaign: %d/%d job(s)%s%s%!" p.p_completed
+      p.p_total
+      (if p.p_failed > 0 then Printf.sprintf " (%d failed)" p.p_failed
+       else "")
+      eta;
+    if p.p_completed = p.p_total then Printf.fprintf oc "\n%!"

@@ -1,0 +1,56 @@
+(** Drains pending campaign jobs through the ensemble engine.
+
+    Jobs run sequentially in list order; {e within} a job the
+    replicates fan out across one shared {!Glc_engine.Pool} of worker
+    domains, and one shared compiled-model {!Glc_engine.Cache} (keyed
+    by name + content fingerprint) serves all jobs, so grid axes that
+    do not change the kinetic model — FOV_UD, replicate count — reuse
+    the same compilation.
+
+    Every job is journaled ([started], then [done] or [failed]) and its
+    result persisted atomically before the next job begins, so a kill
+    at any point loses at most the in-flight job. A job that raises —
+    an unknown circuit, an invalid model — is captured in the journal
+    and the campaign moves on: one bad model degrades the campaign
+    rather than killing it.
+
+    Determinism: a job's result depends only on the campaign spec and
+    the job's own content (its seed is {!Grid.job_seed}) — never on
+    worker count, execution order, or which jobs ran in the same
+    process. *)
+
+type progress = {
+  p_completed : int;  (** jobs finished (succeeded + failed) this run *)
+  p_failed : int;
+  p_total : int;  (** jobs this run will attempt *)
+  p_elapsed : float;  (** wall-clock seconds since the run began *)
+  p_eta : float option;  (** estimated seconds remaining *)
+}
+
+type summary = {
+  ran : int;  (** jobs attempted *)
+  succeeded : int;
+  failed : int;
+  remaining : int;  (** pending jobs not attempted (limit cut-off) *)
+}
+
+val resolve : string -> (Glc_gates.Circuit.t, string) result
+(** Benchmark name, or any [0xNN] truth-table code. *)
+
+val run :
+  ?jobs:int ->
+  ?limit:int ->
+  ?on_progress:(progress -> unit) ->
+  store:Store.t ->
+  journal:Journal.t ->
+  Grid.spec ->
+  Grid.job list ->
+  summary
+(** [run ~store ~journal spec pending] journals every pending job as
+    scheduled, then attempts the first [limit] of them (default: all)
+    in order. [jobs] sizes the worker pool (0 = hardware).
+    @raise Invalid_argument if [limit < 0]. *)
+
+val counter_progress : ?oc:out_channel -> unit -> progress -> unit
+(** A live [completed/total (+failures) + ETA] line rewritten in place
+    (default [stderr]) — pass as [on_progress] when a human watches. *)

@@ -1,0 +1,225 @@
+module Json = Glc_core.Report.Json
+
+type t = { dir : string }
+
+let manifest_name = "MANIFEST.json"
+let results_subdir = "results"
+
+let mkdir_p dir =
+  let rec go dir =
+    if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+    then begin
+      go (Filename.dirname dir);
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Temp-file + rename in the destination directory: the visible path
+   either holds the complete document or nothing. The temp name embeds
+   the pid so two processes writing the same id cannot interleave. *)
+let atomic_write path content =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let n = String.length content in
+      let written = ref 0 in
+      while !written < n do
+        written :=
+          !written
+          + Unix.write_substring fd content !written (n - !written)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp path
+
+let results_dir t = Filename.concat t.dir results_subdir
+let manifest_path dir = Filename.concat dir manifest_name
+
+let create ~dir manifest_json =
+  if Sys.file_exists (manifest_path dir) then
+    Error
+      (Printf.sprintf
+         "%s already holds a campaign manifest — resume it instead" dir)
+  else begin
+    mkdir_p (Filename.concat dir results_subdir);
+    atomic_write (manifest_path dir) manifest_json;
+    Ok { dir }
+  end
+
+let load ~dir =
+  let path = manifest_path dir in
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no campaign manifest found" path)
+  else begin
+    mkdir_p (Filename.concat dir results_subdir);
+    Ok ({ dir }, read_file path)
+  end
+
+let dir t = t.dir
+let result_path t ~id = Filename.concat (results_dir t) (id ^ ".json")
+
+let put t ~id json = atomic_write (result_path t ~id) json
+
+let get t ~id =
+  let path = result_path t ~id in
+  if not (Sys.file_exists path) then None
+  else
+    (* a result counts only when it parses: half-written or corrupted
+       files (which the atomic rename should already preclude) are
+       treated as absent, so resume re-runs the job *)
+    let text = read_file path in
+    match Json.parse text with Ok _ -> Some text | Error _ -> None
+
+let mem t ~id = Option.is_some (get t ~id)
+
+let completed t =
+  let rdir = results_dir t in
+  if not (Sys.file_exists rdir) then []
+  else
+    Sys.readdir rdir |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun name ->
+           match Filename.chop_suffix_opt ~suffix:".json" name with
+           | Some id when mem t ~id -> Some id
+           | Some _ | None -> None)
+
+(* ---- the campaign report ---- *)
+
+type job_line = {
+  l_id : string;
+  l_job : Grid.job;
+  l_done : bool;
+  l_verified : bool;  (** consensus verified; false when not done *)
+  l_verified_count : int;
+  l_completed : int;  (** replicates that finished *)
+  l_failed : int;  (** replicates that crashed *)
+  l_fitness_mean : float;  (** nan when not done *)
+}
+
+let job_line t job =
+  let id = Grid.job_id job in
+  let absent =
+    {
+      l_id = id;
+      l_job = job;
+      l_done = false;
+      l_verified = false;
+      l_verified_count = 0;
+      l_completed = 0;
+      l_failed = 0;
+      l_fitness_mean = nan;
+    }
+  in
+  match Option.map Json.parse (get t ~id) with
+  | None | Some (Error _) -> absent
+  | Some (Ok doc) ->
+      (* summary numbers are parsed once and re-rendered with the same
+         shortest-round-trip printer that produced them, so they pass
+         through the store byte-identically *)
+      let ens name conv =
+        Option.bind (Json.member doc "ensemble") (fun e ->
+            Option.bind (Json.member e name) conv)
+      in
+      let int name = Option.value ~default:0 (ens name Json.to_int) in
+      {
+        absent with
+        l_done = true;
+        l_verified =
+          Option.value ~default:false
+            (ens "consensus_verified" Json.to_bool);
+        l_verified_count = int "verified_count";
+        l_completed = int "completed";
+        l_failed = int "failed";
+        l_fitness_mean =
+          Option.value ~default:nan
+            (Option.bind (Json.member doc "fitness_mean") Json.to_number);
+      }
+
+let lines t (spec : Grid.spec) =
+  List.map (job_line t) (Grid.expand spec.Grid.grid)
+
+let report_json t (spec : Grid.spec) =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  let ls = lines t spec in
+  let done_count = List.length (List.filter (fun l -> l.l_done) ls) in
+  let verified_count =
+    List.length (List.filter (fun l -> l.l_verified) ls)
+  in
+  add "{\"campaign\":{";
+  add (Printf.sprintf "\"seed\":%d," spec.Grid.seed);
+  add
+    (Printf.sprintf "\"total_time\":%s,\"hold_time\":%s},"
+       (Json.float spec.Grid.total_time)
+       (Json.float spec.Grid.hold_time));
+  add
+    (Printf.sprintf
+       "\"totals\":{\"jobs\":%d,\"done\":%d,\"missing\":%d,\"verified\":%d},"
+       (List.length ls) done_count
+       (List.length ls - done_count)
+       verified_count);
+  add "\"jobs\":[";
+  List.iteri
+    (fun i l ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"id\":%s,\"circuit\":%s,\"threshold\":%s,\"fov_ud\":%s,\"input_high\":%s,\"replicates\":%d,"
+           (Json.string l.l_id)
+           (Json.string l.l_job.Grid.j_circuit)
+           (Json.float l.l_job.Grid.j_threshold)
+           (Json.float l.l_job.Grid.j_fov_ud)
+           (match l.l_job.Grid.j_input_high with
+           | None -> "null"
+           | Some h -> Json.float h)
+           l.l_job.Grid.j_replicates);
+      if not l.l_done then add "\"status\":\"missing\"}"
+      else
+        add
+          (Printf.sprintf
+             "\"status\":\"done\",\"verified\":%s,\"verified_count\":%d,\"completed\":%d,\"failed\":%d,\"fitness_mean\":%s}"
+             (Json.bool l.l_verified) l.l_verified_count l.l_completed
+             l.l_failed
+             (Json.float l.l_fitness_mean)))
+    ls;
+  add "]}";
+  Buffer.contents buf
+
+let pp_report ppf (t, (spec : Grid.spec)) =
+  let ls = lines t spec in
+  let done_count = List.length (List.filter (fun l -> l.l_done) ls) in
+  let verified = List.length (List.filter (fun l -> l.l_verified) ls) in
+  Format.fprintf ppf
+    "@[<v>campaign %s: %d job(s), %d done, %d missing, %d verified \
+     (seed %d)@,@,"
+    (dir t) (List.length ls) done_count
+    (List.length ls - done_count)
+    verified spec.Grid.seed;
+  Format.fprintf ppf "%-14s %9s %6s %8s %5s %-9s %8s@," "circuit"
+    "threshold" "fov" "high" "reps" "status" "fitness";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "%-14s %9g %6g %8s %5d %-9s %8s@,"
+        l.l_job.Grid.j_circuit l.l_job.Grid.j_threshold
+        l.l_job.Grid.j_fov_ud
+        (match l.l_job.Grid.j_input_high with
+        | None -> "-"
+        | Some h -> Printf.sprintf "%g" h)
+        l.l_job.Grid.j_replicates
+        (if not l.l_done then "missing"
+         else if l.l_verified then "VERIFIED"
+         else "WRONG")
+        (if l.l_done then Printf.sprintf "%.2f%%" l.l_fitness_mean
+         else "-"))
+    ls;
+  Format.fprintf ppf "@]"

@@ -8,8 +8,12 @@
     back a whole multicore ensemble.
 
     Entries are keyed by a caller-chosen string; the key must uniquely
-    identify the kinetic model (the ensemble engine uses the circuit
-    name). *)
+    identify the kinetic model. A circuit name alone is {e not} enough:
+    robustness sweeps and campaign grids run the same circuit under
+    perturbed kinetics or different input-high levels, and keying by
+    name would hand every variant the first variant's compilation. Use
+    {!model_key}, which combines the name with a content
+    {!fingerprint} of the model (the ensemble engine does). *)
 
 module Model := Glc_model.Model
 module Compiled := Glc_ssa.Compiled
@@ -17,6 +21,17 @@ module Compiled := Glc_ssa.Compiled
 type t
 
 val create : unit -> t
+
+val fingerprint : Model.t -> string
+(** Cheap content digest (FNV-1a 64, rendered as 16 hex digits) over
+    species (id, initial amount, boundary flag), parameters and
+    reactions including the full kinetic-law AST with exact float
+    constants. Equal models always digest equally; models differing in
+    any constant digest differently (modulo the 64-bit hash). *)
+
+val model_key : name:string -> Model.t -> string
+(** [name ^ "#" ^ fingerprint m] — the cache key the ensemble engine
+    uses, collision-safe across same-name kinetic variants. *)
 
 val compiled : t -> key:string -> (unit -> Model.t) -> Compiled.t
 (** [compiled c ~key build] returns the cached compilation for [key], or

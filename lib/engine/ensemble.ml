@@ -140,8 +140,13 @@ let run ?pool ?(progress = Progress.null) ?cache (cfg : config)
   let compiled =
     match cache with
     | Some c ->
-        Cache.compiled c ~key:circuit.Circuit.name (fun () ->
-            Circuit.model circuit)
+        (* key by name + content fingerprint: same-name circuits with
+           different kinetics (yield perturbations, campaign grids over
+           input-high) must not share a compilation *)
+        let model = Circuit.model circuit in
+        Cache.compiled c
+          ~key:(Cache.model_key ~name:circuit.Circuit.name model)
+          (fun () -> model)
     | None -> Compiled.compile (Circuit.model circuit)
   in
   let events = Experiment.input_schedule protocol circuit in

@@ -98,8 +98,10 @@ val run :
   ?pool:Pool.t -> ?progress:Progress.t -> ?cache:Cache.t ->
   config -> Circuit.t -> t
 (** Runs the ensemble. The model is compiled once (through [cache] when
-    given, keyed by the circuit name) and shared read-only by all
-    workers. When [pool] is given its size overrides [config.jobs] and
+    given, keyed by {!Cache.model_key} — circuit name plus a content
+    fingerprint, so same-name kinetic variants never collide) and
+    shared read-only by all workers. When [pool] is given its size
+    overrides [config.jobs] and
     the pool survives the call; otherwise a pool of [config.jobs]
     domains is created and shut down. *)
 

@@ -625,6 +625,40 @@ let test_report_contents () =
   checkb "has expression" true (has "OUT = I1.I2");
   checkb "marks minterm rows" true (has "*")
 
+(* ---- robustness: operating_range over synthetic sweeps ---- *)
+
+let wpoint ?(verified = true) w_threshold =
+  {
+    Glc_core.Robustness.w_threshold;
+    w_verified = verified;
+    w_fitness = 100.;
+    w_variations = 0;
+  }
+
+let range = Alcotest.(option (pair (float 0.) (float 0.)))
+
+let test_operating_range () =
+  let open Glc_core.Robustness in
+  Alcotest.check range "empty sweep" None (operating_range []);
+  Alcotest.check range "no verified point" None
+    (operating_range [ wpoint ~verified:false 3.; wpoint ~verified:false 15. ]);
+  Alcotest.check range "single verified point collapses to [t, t]"
+    (Some (15., 15.))
+    (operating_range
+       [ wpoint ~verified:false 3.; wpoint 15.; wpoint ~verified:false 40. ]);
+  (* a non-contiguous verified set still reports min..max: the range is
+     an envelope, not a guarantee that every interior point verifies *)
+  Alcotest.check range "non-contiguous window is an envelope"
+    (Some (8., 60.))
+    (operating_range
+       [
+         wpoint ~verified:false 3.; wpoint 8.; wpoint ~verified:false 15.;
+         wpoint 60.; wpoint ~verified:false 90.;
+       ]);
+  (* order of the sweep does not matter *)
+  Alcotest.check range "unsorted sweep" (Some (8., 60.))
+    (operating_range [ wpoint 60.; wpoint ~verified:false 90.; wpoint 8. ])
+
 let () =
   Alcotest.run "glc_core"
     [
@@ -683,6 +717,11 @@ let () =
       ("vcd", [ Alcotest.test_case "format" `Quick test_vcd ]);
       ( "report",
         [ Alcotest.test_case "contents" `Quick test_report_contents ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "operating_range edge cases" `Quick
+            test_operating_range;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_recovers_any_table; prop_tolerates_sparse_glitches ] );

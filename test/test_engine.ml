@@ -179,6 +179,51 @@ let test_cache () =
   ignore (Cache.compiled cache ~key:"genetic_NOT" build);
   checki "rebuilt after clear" 3 !builds
 
+(* Regression: two circuits with the SAME name but different kinetics
+   must not share a compilation. Keying the cache by name alone served
+   the first circuit's model to the second; model_key folds a content
+   fingerprint into the key. *)
+let perturbed_genetic_not () =
+  let base = Circuits.genetic_not () in
+  Glc_gates.Circuit.make ~name:base.Glc_gates.Circuit.name
+    ~document:base.Glc_gates.Circuit.document
+    ~inputs:base.Glc_gates.Circuit.inputs
+    ~output:base.Glc_gates.Circuit.output
+    ~expected:base.Glc_gates.Circuit.expected
+    ~promoter_kinetics:
+      [
+        ( "P1",
+          { Glc_sbol.To_model.default_kinetics with Glc_sbol.To_model.ymax = 9. }
+        );
+      ]
+    ~regulator_affinity:base.Glc_gates.Circuit.regulator_affinity ()
+
+let test_cache_fingerprint () =
+  let base = Circuits.genetic_not () in
+  let variant = perturbed_genetic_not () in
+  let mb = Glc_gates.Circuit.model base in
+  let mv = Glc_gates.Circuit.model variant in
+  checks "fingerprint deterministic" (Cache.fingerprint mb)
+    (Cache.fingerprint (Glc_gates.Circuit.model base));
+  checkb "same name, different kinetics -> different fingerprints" false
+    (String.equal (Cache.fingerprint mb) (Cache.fingerprint mv));
+  checkb "model_key embeds the name" true
+    (contains (Cache.model_key ~name:"genetic_NOT" mb) "genetic_NOT");
+  let cache = Cache.create () in
+  let a =
+    Cache.compiled cache
+      ~key:(Cache.model_key ~name:"genetic_NOT" mb)
+      (fun () -> mb)
+  in
+  let b =
+    Cache.compiled cache
+      ~key:(Cache.model_key ~name:"genetic_NOT" mv)
+      (fun () -> mv)
+  in
+  checkb "distinct compilations" true (a != b);
+  checki "two misses, no collision" 2 (Cache.misses cache);
+  checki "no false hit" 0 (Cache.hits cache)
+
 (* ---- ensemble ---- *)
 
 let not_config ?(replicates = 6) ?(jobs = 1) () =
@@ -366,6 +411,19 @@ let test_ensemble_cache_shared () =
   checki "compiled once across ensembles" 1 (Cache.misses cache);
   checki "second ensemble hits" 1 (Cache.hits cache)
 
+let test_ensemble_cache_no_name_collision () =
+  (* end-to-end form of the model_key regression: same cache, two
+     same-name circuits with different kinetics -> two compilations and
+     different verdict data, not a silent reuse of the first model *)
+  let cache = Cache.create () in
+  let cfg = not_config ~replicates:2 () in
+  let t1 = Ensemble.run ~cache cfg (Circuits.genetic_not ()) in
+  let t2 = Ensemble.run ~cache cfg (perturbed_genetic_not ()) in
+  checki "both variants compiled" 2 (Cache.misses cache);
+  checki "no false hit" 0 (Cache.hits cache);
+  checkb "perturbed kinetics change the data" false
+    (String.equal (Ensemble.to_json t1) (Ensemble.to_json t2))
+
 let test_ensemble_validation () =
   Alcotest.check_raises "replicates < 1"
     (Invalid_argument "Ensemble.config: replicates < 1") (fun () ->
@@ -395,7 +453,12 @@ let () =
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "ci shrinks" `Quick test_stats_ci_shrinks;
         ] );
-      ("cache", [ Alcotest.test_case "memoizes" `Quick test_cache ]);
+      ( "cache",
+        [
+          Alcotest.test_case "memoizes" `Quick test_cache;
+          Alcotest.test_case "fingerprint keying" `Quick
+            test_cache_fingerprint;
+        ] );
       ( "ensemble",
         [
           Alcotest.test_case "jobs determinism" `Slow
@@ -418,6 +481,8 @@ let () =
             test_ensemble_progress;
           Alcotest.test_case "cache shared" `Quick
             test_ensemble_cache_shared;
+          Alcotest.test_case "no same-name cache collision" `Quick
+            test_ensemble_cache_no_name_collision;
           Alcotest.test_case "validation" `Quick test_ensemble_validation;
         ] );
     ]
