@@ -772,6 +772,54 @@ let campaign_bench () =
     with_store bare
     ((with_store -. bare) *. 1e3)
 
+(* ---- observability: instrumentation overhead (lib/obs) ---- *)
+
+(* The Table-1 workload — all 15 benchmark circuits under the paper's
+   protocol — run against the no-op sink and against a live registry.
+   The no-op column is the instrumented build's baseline: every
+   instrument is behind a single liveness branch and the SSA loops only
+   bump local fields, so this is also (to measurement noise) the cost
+   of the pre-instrumentation build. *)
+let obs_bench () =
+  section "Observability -- instrumentation overhead (Table-1 workload)";
+  let module Metrics = Glc_obs.Metrics in
+  let workload metrics =
+    List.iter
+      (fun circuit ->
+        ignore (Experiment.run ~protocol:Protocol.default ~metrics circuit))
+      (Benchmarks.all ())
+  in
+  (* warm-up pass: code, allocator and caches *)
+  workload Metrics.noop;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let best ~reps f =
+    let b = ref infinity in
+    for _ = 1 to reps do
+      b := Float.min !b (timed f)
+    done;
+    !b
+  in
+  let reps = 3 in
+  let t_noop = best ~reps (fun () -> workload Metrics.noop) in
+  let registry = Metrics.create () in
+  let t_live = best ~reps (fun () -> workload registry) in
+  Printf.printf "no-op sink:   %8.3f s per 15-circuit sweep (best of %d)\n"
+    t_noop reps;
+  Printf.printf "enabled sink: %8.3f s per 15-circuit sweep (best of %d)\n"
+    t_live reps;
+  Printf.printf "enabled-sink overhead: %+.2f%%\n"
+    (100. *. (t_live -. t_noop) /. t_noop);
+  Printf.printf "\nscale of what one enabled sweep records:\n";
+  List.iter
+    (fun name ->
+      Printf.printf "  %-24s %d\n" name
+        (Metrics.Counter.value (Metrics.counter registry name)))
+    [ "ssa.reactions_fired"; "ssa.propensity_evals"; "ssa.recorder_observes" ]
+
 let all () =
   fig2 ();
   fig3 ();
@@ -788,6 +836,7 @@ let all () =
   scaling ();
   ensemble_scaling ();
   campaign_bench ();
+  obs_bench ();
   timing ()
 
 let () =
@@ -814,12 +863,13 @@ let () =
       | "scaling" -> scaling ()
       | "ensemble" -> ensemble_scaling ()
       | "campaign" -> campaign_bench ()
+      | "obs" -> obs_bench ()
       | "all" -> all ()
       | other ->
           Printf.eprintf
             "unknown artefact %S \
              (fig2|fig3|fig4|fig5|table1|timing|ablation_hold|ablation_fov|\
-             ablation_algorithms|ablation_yield|ablation_order|baselines|population|scaling|ensemble|campaign|all)\n"
+             ablation_algorithms|ablation_yield|ablation_order|baselines|population|scaling|ensemble|campaign|obs|all)\n"
             other;
           exit 2)
     jobs

@@ -133,6 +133,34 @@ let protocol_term =
     const make $ threshold_opt $ total_opt $ hold_opt $ seed_opt
     $ algorithm_opt $ gray_opt)
 
+(* ---- observability (--metrics) ---- *)
+
+let metrics_opt =
+  Arg.value
+    (Arg.opt (Arg.some Arg.string) None
+       (Arg.info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write an observability report to FILE as JSON after the \
+                run: $(b,deterministic) (counters and gauges — \
+                byte-identical across runs with the same seed and \
+                worker count) and $(b,timings) (latency histograms and \
+                spans, wall-clock)."))
+
+(* Runs [f] against a live registry when --metrics FILE was given (the
+   no-op sink otherwise) and writes the export afterwards. The notice
+   goes to stderr: stdout may carry a machine-read JSON report. *)
+let with_metrics path f =
+  match path with
+  | None -> f Glc_obs.Metrics.noop
+  | Some file ->
+      let metrics = Glc_obs.Metrics.create () in
+      let r = f metrics in
+      let oc = open_out file in
+      output_string oc (Glc_obs.Metrics.to_json metrics);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "metrics written to %s\n%!" file;
+      r
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -280,8 +308,11 @@ let synth_cmd =
 (* ---- simulate ---- *)
 
 let simulate_cmd =
-  let run protocol csv circuit =
-    let e = Experiment.run ~protocol circuit in
+  let run protocol csv metrics_file circuit =
+    let e =
+      with_metrics metrics_file (fun metrics ->
+          Experiment.run ~protocol ~metrics circuit)
+    in
     (match csv with
     | Some path ->
         Experiment.log_csv path e;
@@ -307,7 +338,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a circuit through the virtual laboratory.")
-    Term.(term_result (const run $ protocol_term $ csv_opt $ circuit_arg))
+    Term.(
+      term_result
+        (const run $ protocol_term $ csv_opt $ metrics_opt $ circuit_arg))
 
 (* ---- analyze ---- *)
 
@@ -408,7 +441,7 @@ let verify_cmd =
 
 let ensemble_cmd =
   let module Ensemble = Glc_engine.Ensemble in
-  let run protocol fov replicates jobs json circuit =
+  let run protocol fov replicates jobs json metrics_file circuit =
     match
       Ensemble.config ~replicates ~jobs ~seed:protocol.Protocol.seed
         ~protocol ~fov_ud:fov ()
@@ -422,7 +455,10 @@ let ensemble_cmd =
             Glc_engine.Progress.counter ~total:replicates ()
           else Glc_engine.Progress.null
         in
-        let t = Ensemble.run ~progress cfg circuit in
+        let t =
+          with_metrics metrics_file (fun metrics ->
+              Ensemble.run ~progress ~metrics cfg circuit)
+        in
         if json then print_string (Ensemble.to_json t ^ "\n")
         else Format.printf "%a@." Ensemble.pp t;
         if Array.length t.Ensemble.replicates = 0 then
@@ -462,7 +498,7 @@ let ensemble_cmd =
     Term.(
       term_result
         (const run $ protocol_term $ fov_opt $ replicates_opt $ jobs_opt
-        $ json_opt $ circuit_arg))
+        $ json_opt $ metrics_opt $ circuit_arg))
 
 (* ---- threshold ---- *)
 
@@ -718,14 +754,18 @@ module Campaign = struct
     if s.Runner.failed > 0 || s.Runner.remaining > 0 then exit_incomplete
     else 0
 
-  let drain ~jobs ~limit ~dir =
-    match Resume.run ~jobs ?limit ?on_progress:(progress ()) ~dir () with
-    | Error m -> Error (`Msg m)
-    | Ok (store, spec, summary) -> Ok (summarize store spec summary)
+  let drain ~jobs ~limit ~metrics_file ~dir =
+    with_metrics metrics_file (fun metrics ->
+        match
+          Resume.run ~jobs ?limit ?on_progress:(progress ()) ~metrics ~dir
+            ()
+        with
+        | Error m -> Error (`Msg m)
+        | Ok (store, spec, summary) -> Ok (summarize store spec summary))
 
   let run_cmd =
     let run dir circuits thresholds fovs input_highs replicates seed total
-        hold jobs limit =
+        hold jobs limit metrics_file =
       match
         let grid =
           Grid.make ~thresholds ~fov_uds:fovs
@@ -741,7 +781,7 @@ module Campaign = struct
       | spec -> (
           match Store.create ~dir (Grid.spec_to_json spec) with
           | Error m -> Error (`Msg m)
-          | Ok _store -> drain ~jobs ~limit ~dir)
+          | Ok _store -> drain ~jobs ~limit ~metrics_file ~dir)
     in
     let circuits_opt =
       Arg.required
@@ -789,17 +829,21 @@ module Campaign = struct
         term_result
           (const run $ dir_opt $ circuits_opt $ thresholds_opt $ fovs_opt
           $ input_highs_opt $ replicates_opt $ seed_opt $ total_opt
-          $ hold_opt $ jobs_opt $ limit_opt))
+          $ hold_opt $ jobs_opt $ limit_opt $ metrics_opt))
 
   let resume_cmd =
-    let run dir jobs limit = drain ~jobs ~limit ~dir in
+    let run dir jobs limit metrics_file =
+      drain ~jobs ~limit ~metrics_file ~dir
+    in
     Cmd.v
       (Cmd.info "resume" ~exits:campaign_exits
          ~doc:"Resume an interrupted campaign: re-read the manifest and \
                journal, skip every job whose result is already stored, \
                re-queue and run the rest. With the same root seed the \
                final report is byte-identical to an uninterrupted run.")
-      Term.(term_result (const run $ dir_opt $ jobs_opt $ limit_opt))
+      Term.(
+        term_result
+          (const run $ dir_opt $ jobs_opt $ limit_opt $ metrics_opt))
 
   let status_cmd =
     let run dir =
@@ -809,6 +853,13 @@ module Campaign = struct
           Format.printf "campaign %s: %d/%d job(s) done, %d pending@." dir
             st.Resume.s_done st.Resume.s_total
             (List.length st.Resume.s_pending);
+          (match st.Resume.s_jobs_per_second with
+          | Some rate ->
+              Format.printf "  throughput %.3g job(s)/s%s@." rate
+                (match st.Resume.s_eta_seconds with
+                | Some eta -> Printf.sprintf ", ETA %.0f s" eta
+                | None -> "")
+          | None -> ());
           List.iter
             (fun (id, n) ->
               if n > 1 then

@@ -13,7 +13,30 @@ type status = {
   s_pending : string list;  (** ids, grid order *)
   s_attempts : (string * int) list;  (** started-events per id, grid order *)
   s_failures : (string * string) list;  (** last failure per id, grid order *)
+  s_jobs_per_second : float option;
+  s_eta_seconds : float option;
 }
+
+(* Observed completion rate, derived from the modification times of the
+   stored results (the journal records no timestamps, and its format is
+   frozen). Meaningful only with two or more results spread over
+   measurable time. *)
+let throughput ~store done_ids =
+  let mtimes =
+    List.filter_map
+      (fun id ->
+        match Unix.stat (Store.result_path store ~id) with
+        | st -> Some st.Unix.st_mtime
+        | exception Unix.Unix_error _ -> None)
+      done_ids
+  in
+  match mtimes with
+  | [] | [ _ ] -> None
+  | _ :: _ ->
+      let lo = List.fold_left Float.min infinity mtimes in
+      let hi = List.fold_left Float.max neg_infinity mtimes in
+      if hi <= lo then None
+      else Some (float_of_int (List.length mtimes - 1) /. (hi -. lo))
 
 let status ~dir =
   let ( let* ) = Result.bind in
@@ -36,11 +59,13 @@ let status ~dir =
   in
   let ids = List.map Grid.job_id jobs in
   let done_ids = List.filter (fun id -> Store.mem store ~id) ids in
+  let pending_ids = List.filter (fun id -> not (Store.mem store ~id)) ids in
+  let rate = throughput ~store done_ids in
   Ok
     {
       s_total = List.length ids;
       s_done = List.length done_ids;
-      s_pending = List.filter (fun id -> not (Store.mem store ~id)) ids;
+      s_pending = pending_ids;
       s_attempts =
         List.filter_map
           (fun id ->
@@ -50,9 +75,15 @@ let status ~dir =
         List.filter_map
           (fun id -> Option.map (fun e -> (id, e)) (last_failure id))
           ids;
+      s_jobs_per_second = rate;
+      s_eta_seconds =
+        (match rate with
+        | Some r when pending_ids <> [] ->
+            Some (float_of_int (List.length pending_ids) /. r)
+        | Some _ | None -> None);
     }
 
-let run ?jobs ?limit ?on_progress ~dir () =
+let run ?jobs ?limit ?on_progress ?metrics ~dir () =
   let ( let* ) = Result.bind in
   let* store, spec = load ~dir in
   let todo = pending ~store (Grid.expand spec.Grid.grid) in
@@ -60,6 +91,8 @@ let run ?jobs ?limit ?on_progress ~dir () =
   let summary =
     Fun.protect
       ~finally:(fun () -> Journal.close journal)
-      (fun () -> Runner.run ?jobs ?limit ?on_progress ~store ~journal spec todo)
+      (fun () ->
+        Runner.run ?jobs ?limit ?on_progress ?metrics ~store ~journal spec
+          todo)
   in
   Ok (store, spec, summary)

@@ -22,16 +22,25 @@ type status = {
   s_pending : string list;  (** ids, grid order *)
   s_attempts : (string * int) list;  (** started-events per id, grid order *)
   s_failures : (string * string) list;  (** last failure per id, grid order *)
+  s_jobs_per_second : float option;
+      (** observed completion rate, from the modification times of the
+          stored results; [None] until two results exist at distinct
+          times *)
+  s_eta_seconds : float option;
+      (** [pending / rate] — [None] when the rate is unknown or nothing
+          is pending *)
 }
 
 val status : dir:string -> (status, string) result
 (** Store + journal summary: how far the campaign got, which jobs were
-    attempted how often, and the last recorded failure per job. *)
+    attempted how often, the last recorded failure per job, and a
+    throughput/ETA estimate for what remains. *)
 
 val run :
   ?jobs:int ->
   ?limit:int ->
   ?on_progress:(Runner.progress -> unit) ->
+  ?metrics:Glc_obs.Metrics.t ->
   dir:string ->
   unit ->
   (Store.t * Grid.spec * Runner.summary, string) result

@@ -7,6 +7,7 @@ module Pool = Glc_engine.Pool
 module Cache = Glc_engine.Cache
 module Ensemble = Glc_engine.Ensemble
 module Stats = Glc_engine.Stats
+module Metrics = Glc_obs.Metrics
 
 type progress = {
   p_completed : int;
@@ -65,7 +66,7 @@ let job_document ~seed (job : Grid.job) (t : Ensemble.t) =
     (Json.float t.Ensemble.fitness.Stats.mean)
     (Ensemble.to_json t)
 
-let run_job ~pool ~cache (spec : Grid.spec) (job : Grid.job) =
+let run_job ?metrics ~pool ~cache (spec : Grid.spec) (job : Grid.job) =
   match resolve job.Grid.j_circuit with
   | Error m -> failwith m
   | Ok circuit ->
@@ -75,13 +76,13 @@ let run_job ~pool ~cache (spec : Grid.spec) (job : Grid.job) =
         Ensemble.config ~replicates:job.Grid.j_replicates ~seed ~protocol
           ~fov_ud:job.Grid.j_fov_ud ()
       in
-      let t = Ensemble.run ~pool ~cache cfg circuit in
+      let t = Ensemble.run ~pool ~cache ?metrics cfg circuit in
       job_document ~seed job t
 
 let null_progress (_ : progress) = ()
 
-let run ?(jobs = 0) ?limit ?(on_progress = null_progress) ~store ~journal
-    (spec : Grid.spec) pending =
+let run ?(jobs = 0) ?limit ?(on_progress = null_progress)
+    ?(metrics = Metrics.noop) ~store ~journal (spec : Grid.spec) pending =
   let todo =
     match limit with
     | None -> List.length pending
@@ -89,8 +90,38 @@ let run ?(jobs = 0) ?limit ?(on_progress = null_progress) ~store ~journal
         if k < 0 then invalid_arg "Runner.run: limit < 0"
         else min k (List.length pending)
   in
+  let live = Metrics.enabled metrics in
+  let h_job = Metrics.histogram metrics "campaign.job_seconds" in
+  let h_put = Metrics.histogram metrics "campaign.store_put_seconds" in
+  let h_append = Metrics.histogram metrics "campaign.journal_append_seconds" in
+  let c_scheduled = Metrics.counter metrics "campaign.jobs_scheduled" in
+  let c_ok = Metrics.counter metrics "campaign.jobs_succeeded" in
+  let c_fail = Metrics.counter metrics "campaign.jobs_failed" in
+  Metrics.Gauge.set (Metrics.gauge metrics "campaign.jobs_todo")
+    (float_of_int todo);
+  (* Instrumented wrappers for the two persistence hot spots: the store
+     write (temp + fsync + rename) and the journal append (fsync per
+     record). *)
+  let journal_append ev =
+    if live then begin
+      let t0 = Glc_obs.Clock.now () in
+      Journal.append journal ev;
+      Metrics.Histogram.observe h_append (Glc_obs.Clock.now () -. t0)
+    end
+    else Journal.append journal ev
+  in
+  let store_put ~id doc =
+    if live then begin
+      let t0 = Glc_obs.Clock.now () in
+      Store.put store ~id doc;
+      Metrics.Histogram.observe h_put (Glc_obs.Clock.now () -. t0)
+    end
+    else Store.put store ~id doc
+  in
   List.iter
-    (fun job -> Journal.append journal (Journal.Scheduled (Grid.job_id job)))
+    (fun job ->
+      Metrics.Counter.incr c_scheduled;
+      journal_append (Journal.Scheduled (Grid.job_id job)))
     pending;
   let started_at = Unix.gettimeofday () in
   let succeeded = ref 0 and failed = ref 0 in
@@ -112,30 +143,42 @@ let run ?(jobs = 0) ?limit ?(on_progress = null_progress) ~store ~journal
       }
   in
   let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
-  Pool.with_pool ~jobs (fun pool ->
+  Pool.with_pool ~jobs ~metrics (fun pool ->
       (* one compiled-model cache across the whole campaign: jobs over
          the same circuit and kinetics (e.g. differing only in FOV_UD
          or replicate count) compile once *)
-      let cache = Cache.create () in
+      let cache = Cache.create ~metrics () in
       List.iteri
         (fun i job ->
           if i < todo then begin
             let id = Grid.job_id job in
-            Journal.append journal (Journal.Started id);
-            (match run_job ~pool ~cache spec job with
+            journal_append (Journal.Started id);
+            let t_job = if live then Glc_obs.Clock.now () else 0. in
+            (match
+               Metrics.span metrics ("job:" ^ id) (fun () ->
+                   run_job ~metrics ~pool ~cache spec job)
+             with
             | doc ->
-                Store.put store ~id doc;
-                Journal.append journal (Journal.Done id);
+                store_put ~id doc;
+                journal_append (Journal.Done id);
+                Metrics.Counter.incr c_ok;
                 incr succeeded
             | exception e ->
                 (* one bad model degrades the campaign, it does not
                    kill it: record the error, move on *)
-                Journal.append journal
-                  (Journal.Failed (id, Printexc.to_string e));
+                journal_append (Journal.Failed (id, Printexc.to_string e));
+                Metrics.Counter.incr c_fail;
                 incr failed);
+            if live then Metrics.Histogram.observe h_job (Glc_obs.Clock.now () -. t_job);
             report ()
           end)
         pending);
+  let completed = !succeeded + !failed in
+  let elapsed = Unix.gettimeofday () -. started_at in
+  if live && completed > 0 && elapsed > 0. then
+    Metrics.Histogram.observe
+      (Metrics.histogram metrics "campaign.jobs_per_second")
+      (float_of_int completed /. elapsed);
   {
     ran = todo;
     succeeded = !succeeded;

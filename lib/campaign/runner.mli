@@ -41,6 +41,7 @@ val run :
   ?jobs:int ->
   ?limit:int ->
   ?on_progress:(progress -> unit) ->
+  ?metrics:Glc_obs.Metrics.t ->
   store:Store.t ->
   journal:Journal.t ->
   Grid.spec ->
@@ -49,6 +50,17 @@ val run :
 (** [run ~store ~journal spec pending] journals every pending job as
     scheduled, then attempts the first [limit] of them (default: all)
     in order. [jobs] sizes the worker pool (0 = hardware).
+
+    A live [metrics] registry (default {!Glc_obs.Metrics.noop}) receives
+    the campaign counters [campaign.jobs_scheduled] /
+    [campaign.jobs_succeeded] / [campaign.jobs_failed], the gauge
+    [campaign.jobs_todo], the wall-time histograms
+    [campaign.job_seconds], [campaign.store_put_seconds] (atomic
+    temp+fsync+rename write), [campaign.journal_append_seconds] (fsync
+    per record) and [campaign.jobs_per_second] (one observation per
+    run), one span [job:<id>] per attempted job, and everything the
+    underlying pool, cache and ensemble engine record (see
+    {!Glc_engine.Ensemble.run}).
     @raise Invalid_argument if [limit < 0]. *)
 
 val counter_progress : ?oc:out_channel -> unit -> progress -> unit

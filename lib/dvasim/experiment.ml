@@ -29,23 +29,23 @@ let stimulus (p : Protocol.t) ~inputs =
 let input_schedule (p : Protocol.t) (circuit : Circuit.t) =
   stimulus p ~inputs:circuit.Circuit.inputs
 
-let run_trace ~protocol ~inputs model =
+let run_trace ?metrics ~protocol ~inputs model =
   let events = stimulus protocol ~inputs in
   let cfg =
     Sim.config ~dt:protocol.Protocol.dt ~seed:protocol.Protocol.seed
       ~algorithm:protocol.Protocol.algorithm
       ~t_end:protocol.Protocol.total_time ()
   in
-  Sim.run ~events cfg model
+  Sim.run ~events ?metrics cfg model
 
-let run_model ~protocol ~circuit model =
+let run_model ?metrics ~protocol ~circuit model =
   let trace =
-    run_trace ~protocol ~inputs:circuit.Circuit.inputs model
+    run_trace ?metrics ~protocol ~inputs:circuit.Circuit.inputs model
   in
   { circuit; protocol; trace }
 
-let run ?(protocol = Protocol.default) circuit =
-  run_model ~protocol ~circuit (Circuit.model circuit)
+let run ?(protocol = Protocol.default) ?metrics circuit =
+  run_model ?metrics ~protocol ~circuit (Circuit.model circuit)
 
 let applied_row e t =
   Protocol.row_at e.protocol ~arity:(Circuit.arity e.circuit) t

@@ -25,15 +25,20 @@ val stimulus : Protocol.t -> inputs:string array -> Events.schedule
 val input_schedule : Protocol.t -> Circuit.t -> Events.schedule
 (** {!stimulus} over the circuit's sensor proteins. *)
 
-val run : ?protocol:Protocol.t -> Circuit.t -> t
-(** Simulates with {!Protocol.default} unless overridden. *)
+val run : ?protocol:Protocol.t -> ?metrics:Glc_obs.Metrics.t -> Circuit.t -> t
+(** Simulates with {!Protocol.default} unless overridden. A live
+    [metrics] registry (default {!Glc_obs.Metrics.noop}) is passed down
+    to the SSA, which flushes its per-run counters and timings there —
+    see {!Glc_ssa.Sim.run}. *)
 
 val run_model :
+  ?metrics:Glc_obs.Metrics.t ->
   protocol:Protocol.t -> circuit:Circuit.t -> Model.t -> t
 (** Like {!run} but with a caller-supplied kinetic model (used to inject
     parameter variations while keeping the circuit's metadata). *)
 
 val run_trace :
+  ?metrics:Glc_obs.Metrics.t ->
   protocol:Protocol.t -> inputs:string array -> Model.t -> Trace.t
 (** Circuit-free entry point: drives the named input species of an
     arbitrary kinetic model through all combinations and returns the

@@ -41,10 +41,17 @@ let two_means samples =
     if !c1 <= !c2 then (!c1, !c2) else (!c2, !c1)
   end
 
-let estimate ?(protocol = Protocol.default) ?(settle_fraction = 0.5) circuit =
+let estimate ?(protocol = Protocol.default) ?(settle_fraction = 0.5)
+    ?(metrics = Glc_obs.Metrics.noop) circuit =
   if settle_fraction <= 0. || settle_fraction > 1. then
     invalid_arg "Threshold.estimate: settle_fraction not in (0, 1]";
-  let e = Experiment.run ~protocol circuit in
+  (* Validated before the (expensive) sweep: a hold slot shorter than
+     the sampling step has no samples at all, and the slot arithmetic
+     below would divide by samples_per_slot = 0. *)
+  if protocol.Protocol.hold_time < protocol.Protocol.dt then
+    invalid_arg
+      "Threshold.estimate: hold_time < dt leaves no samples per hold slot";
+  let e = Experiment.run ~protocol ~metrics circuit in
   let output = Trace.column e.Experiment.trace circuit.Circuit.output in
   let dt = protocol.Protocol.dt in
   let samples_per_slot = int_of_float (protocol.Protocol.hold_time /. dt) in

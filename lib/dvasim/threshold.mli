@@ -23,9 +23,18 @@ val two_means : float array -> float * float
     @raise Invalid_argument on an empty array. *)
 
 val estimate :
-  ?protocol:Protocol.t -> ?settle_fraction:float -> Circuit.t -> estimate
+  ?protocol:Protocol.t -> ?settle_fraction:float ->
+  ?metrics:Glc_obs.Metrics.t -> Circuit.t -> estimate
 (** Runs the input sweep and clusters the settled output samples (the
     last [settle_fraction] of each hold slot, default 0.5; the first part
-    of a slot is discarded as transient). *)
+    of a slot is discarded as transient). A live [metrics] registry is
+    forwarded to the underlying simulation.
+
+    @raise Invalid_argument if [settle_fraction] is outside (0, 1], or
+    if [protocol.hold_time < protocol.dt] — a hold slot shorter than the
+    sampling step contains no settled samples (the protocol is validated
+    before the sweep runs). Non-integer [hold_time / dt] ratios are
+    fine: each slot simply contributes [floor (hold_time / dt)]
+    samples. *)
 
 val pp : Format.formatter -> estimate -> unit

@@ -62,16 +62,26 @@ let fingerprint (m : Model.t) =
 
 let model_key ~name m = name ^ "#" ^ fingerprint m
 
+module Metrics = Glc_obs.Metrics
+
 type t = {
   mutex : Mutex.t;
   table : (string, Compiled.t) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  obs_hits : Metrics.Counter.t;
+  obs_misses : Metrics.Counter.t;
 }
 
-let create () =
-  { mutex = Mutex.create (); table = Hashtbl.create 16; hits = 0;
-    misses = 0 }
+let create ?(metrics = Metrics.noop) () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+    obs_hits = Metrics.counter metrics "engine.cache_hits";
+    obs_misses = Metrics.counter metrics "engine.cache_misses";
+  }
 
 let compiled t ~key build =
   Mutex.lock t.mutex;
@@ -81,9 +91,11 @@ let compiled t ~key build =
       match Hashtbl.find_opt t.table key with
       | Some c ->
           t.hits <- t.hits + 1;
+          Metrics.Counter.incr t.obs_hits;
           c
       | None ->
           t.misses <- t.misses + 1;
+          Metrics.Counter.incr t.obs_misses;
           let c = Compiled.compile (build ()) in
           Hashtbl.add t.table key c;
           c)

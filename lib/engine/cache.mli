@@ -20,7 +20,10 @@ module Compiled := Glc_ssa.Compiled
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Glc_obs.Metrics.t -> unit -> t
+(** A live [metrics] registry (default {!Glc_obs.Metrics.noop}) counts
+    lookups under [engine.cache_hits] / [engine.cache_misses] in
+    addition to the in-process {!hits}/{!misses} accessors. *)
 
 val fingerprint : Model.t -> string
 (** Cheap content digest (FNV-1a 64, rendered as 16 hex digits) over

@@ -133,9 +133,14 @@ let aggregate ~name ~seed ~requested ~expected ~replicates ~failures =
         (Array.to_list cases);
   }
 
-let run ?pool ?(progress = Progress.null) ?cache (cfg : config)
-    (circuit : Circuit.t) =
+let run ?pool ?(progress = Progress.null) ?cache
+    ?(metrics = Glc_obs.Metrics.noop) (cfg : config) (circuit : Circuit.t) =
   if cfg.replicates < 1 then invalid_arg "Ensemble.run: replicates < 1";
+  let module Metrics = Glc_obs.Metrics in
+  let live = Metrics.enabled metrics in
+  let t_start = if live then Glc_obs.Clock.now () else 0. in
+  let obs_ok = Metrics.counter metrics "engine.replicates_ok" in
+  let obs_failed = Metrics.counter metrics "engine.replicates_failed" in
   let protocol = cfg.protocol in
   let compiled =
     match cache with
@@ -157,10 +162,12 @@ let run ?pool ?(progress = Progress.null) ?cache (cfg : config)
   let params =
     { Analyzer.threshold = protocol.Protocol.threshold; fov_ud = cfg.fov_ud }
   in
-  let rngs = Seeds.derive ~seed:cfg.seed cfg.replicates in
+  let rngs = Seeds.derive ~metrics ~seed:cfg.seed cfg.replicates in
   let task i rng =
     match
-      let trace, _stats = Sim.run_compiled_rng ~events ~rng sim_cfg compiled in
+      let trace, _stats =
+        Sim.run_compiled_rng ~events ~metrics ~rng sim_cfg compiled
+      in
       let r =
         Analyzer.run ~params
           {
@@ -173,9 +180,11 @@ let run ?pool ?(progress = Progress.null) ?cache (cfg : config)
       { rep_index = i; rep_result = r; rep_verify = v }
     with
     | rep ->
+        Metrics.Counter.incr obs_ok;
         Progress.report progress (Progress.Replicate_ok i);
         rep
     | exception e ->
+        Metrics.Counter.incr obs_failed;
         Progress.report progress
           (Progress.Replicate_failed (i, Printexc.to_string e));
         raise e
@@ -185,7 +194,7 @@ let run ?pool ?(progress = Progress.null) ?cache (cfg : config)
     | Some p -> Pool.map p task rngs
     | None ->
         let jobs = if cfg.jobs = 0 then Pool.default_jobs () else cfg.jobs in
-        Pool.with_pool ~jobs (fun p -> Pool.map p task rngs)
+        Pool.with_pool ~jobs ~metrics (fun p -> Pool.map p task rngs)
   in
   let replicates, failures =
     Array.fold_right
@@ -198,9 +207,16 @@ let run ?pool ?(progress = Progress.null) ?cache (cfg : config)
               :: fails ))
       outcomes ([], [])
   in
-  aggregate ~name:circuit.Circuit.name ~seed:cfg.seed
-    ~requested:cfg.replicates ~expected:circuit.Circuit.expected ~replicates
-    ~failures
+  let t =
+    aggregate ~name:circuit.Circuit.name ~seed:cfg.seed
+      ~requested:cfg.replicates ~expected:circuit.Circuit.expected
+      ~replicates ~failures
+  in
+  if live then begin
+    Metrics.Counter.incr (Metrics.counter metrics "engine.ensembles");
+    Metrics.observe_since metrics "engine.ensemble_seconds" t_start
+  end;
+  t
 
 (* ---- reports ---- *)
 

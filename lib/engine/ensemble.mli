@@ -96,14 +96,25 @@ val aggregate :
 
 val run :
   ?pool:Pool.t -> ?progress:Progress.t -> ?cache:Cache.t ->
-  config -> Circuit.t -> t
+  ?metrics:Glc_obs.Metrics.t -> config -> Circuit.t -> t
 (** Runs the ensemble. The model is compiled once (through [cache] when
     given, keyed by {!Cache.model_key} — circuit name plus a content
     fingerprint, so same-name kinetic variants never collide) and
     shared read-only by all workers. When [pool] is given its size
     overrides [config.jobs] and
     the pool survives the call; otherwise a pool of [config.jobs]
-    domains is created and shut down. *)
+    domains is created and shut down.
+
+    A live [metrics] registry (default {!Glc_obs.Metrics.noop}) receives
+    the counters [engine.ensembles], [engine.replicates_ok],
+    [engine.replicates_failed] and [engine.seeds_derived], the per-run
+    SSA counters (see {!Glc_ssa.Sim.run}) and the wall-time histogram
+    [engine.ensemble_seconds]; it is also handed to the pool this call
+    creates (when [pool] is absent — a caller-supplied pool keeps the
+    registry it was created with). Counters are a pure function of
+    (circuit, config), never of the worker count or the clock, so the
+    deterministic section of the export stays byte-identical across
+    runs. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable report in the style of {!Glc_core.Report}. *)

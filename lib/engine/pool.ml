@@ -1,3 +1,6 @@
+module Metrics = Glc_obs.Metrics
+module Clock = Glc_obs.Clock
+
 type error = { task : int; message : string; backtrace : string }
 
 type t = {
@@ -7,6 +10,14 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable stop : bool;
   mutable workers : unit Domain.t array;
+  (* Instrumentation, resolved once at create so workers never touch the
+     registry. obs_live mirrors [Metrics.enabled]; when false no clock
+     is ever read. *)
+  obs_live : bool;
+  obs_tasks : Metrics.Counter.t;
+  obs_busy : Metrics.Histogram.t;
+  obs_idle : Metrics.Histogram.t;
+  obs_wait : Metrics.Histogram.t;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
@@ -14,9 +25,12 @@ let default_jobs () = Domain.recommended_domain_count ()
 let jobs t = t.n_jobs
 
 (* Worker loop: block on the queue, run jobs until stopped. Jobs never
-   raise — map wraps every task in a capturing closure. *)
+   raise — map wraps every task in a capturing closure. When metrics are
+   live, each dequeue records how long the worker sat idle and each job
+   how long it ran. *)
 let worker t () =
   let rec loop () =
+    let t_idle = if t.obs_live then Clock.now () else 0. in
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.stop do
       Condition.wait t.nonempty t.mutex
@@ -26,13 +40,19 @@ let worker t () =
     else begin
       let job = Queue.pop t.queue in
       Mutex.unlock t.mutex;
-      job ();
+      if t.obs_live then begin
+        let now = Clock.now () in
+        Metrics.Histogram.observe t.obs_idle (now -. t_idle);
+        job ();
+        Metrics.Histogram.observe t.obs_busy (Clock.now () -. now)
+      end
+      else job ();
       loop ()
     end
   in
   loop ()
 
-let create ?jobs () =
+let create ?jobs ?(metrics = Metrics.noop) () =
   let n_jobs =
     match jobs with
     | None -> default_jobs ()
@@ -47,6 +67,11 @@ let create ?jobs () =
       queue = Queue.create ();
       stop = false;
       workers = [||];
+      obs_live = Metrics.enabled metrics;
+      obs_tasks = Metrics.counter metrics "pool.tasks";
+      obs_busy = Metrics.histogram metrics "pool.worker_busy_seconds";
+      obs_idle = Metrics.histogram metrics "pool.worker_idle_seconds";
+      obs_wait = Metrics.histogram metrics "pool.queue_wait_seconds";
     }
   in
   t.workers <- Array.init n_jobs (fun _ -> Domain.spawn (worker t));
@@ -76,9 +101,24 @@ let map t f arr =
       Mutex.unlock t.mutex;
       invalid_arg "Pool.map: pool is shut down"
     end;
-    for i = 0 to n - 1 do
-      Queue.add (job i) t.queue
-    done;
+    Metrics.Counter.add t.obs_tasks n;
+    if t.obs_live then begin
+      (* Stamp each task at enqueue so the dequeueing worker can record
+         how long it waited in the queue. *)
+      let enqueued = Clock.now () in
+      for i = 0 to n - 1 do
+        let task = job i in
+        Queue.add
+          (fun () ->
+            Metrics.Histogram.observe t.obs_wait (Clock.now () -. enqueued);
+            task ())
+          t.queue
+      done
+    end
+    else
+      for i = 0 to n - 1 do
+        Queue.add (job i) t.queue
+      done;
     Condition.broadcast t.nonempty;
     while !remaining > 0 do
       Condition.wait all_done t.mutex
@@ -97,6 +137,6 @@ let shutdown t =
     Array.iter Domain.join t.workers
   end
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?metrics f =
+  let t = create ?jobs ?metrics () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -23,8 +23,17 @@ type error = {
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the hardware-sized default. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?metrics:Glc_obs.Metrics.t -> unit -> t
 (** Spawns [jobs] worker domains (default {!default_jobs}).
+
+    A live [metrics] registry (default {!Glc_obs.Metrics.noop}) receives
+    the counter [pool.tasks] (tasks submitted — deterministic) and the
+    wall-time histograms [pool.worker_busy_seconds] (per task),
+    [pool.worker_idle_seconds] (per dequeue, time the worker spent
+    blocked on the queue) and [pool.queue_wait_seconds] (per task, from
+    enqueue to dequeue). Instruments are resolved once here; workers
+    never touch the registry, and no clock is read when the registry is
+    the no-op one.
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
@@ -40,5 +49,5 @@ val shutdown : t -> unit
 (** Drains nothing, joins all workers. Idempotent. Pending {!map} calls
     from other threads must have completed first. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?metrics:Glc_obs.Metrics.t -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] — shutdown happens on exceptions too. *)

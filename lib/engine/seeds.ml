@@ -1,7 +1,9 @@
 module Rng = Glc_ssa.Rng
+module Metrics = Glc_obs.Metrics
 
-let derive ~seed n =
+let derive ?(metrics = Metrics.noop) ~seed n =
   if n < 0 then invalid_arg "Seeds.derive: negative count";
+  Metrics.Counter.add (Metrics.counter metrics "engine.seeds_derived") n;
   let root = Rng.create seed in
   (* explicit loop: Array.init's evaluation order is unspecified, and the
      i-th stream must be the i-th split of the root *)

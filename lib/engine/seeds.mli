@@ -9,8 +9,9 @@
 
 module Rng := Glc_ssa.Rng
 
-val derive : seed:int -> int -> Rng.t array
-(** [derive ~seed n] is the generators of replicates [0 .. n-1].
+val derive : ?metrics:Glc_obs.Metrics.t -> seed:int -> int -> Rng.t array
+(** [derive ~seed n] is the generators of replicates [0 .. n-1]. A live
+    [metrics] registry counts derivations under [engine.seeds_derived].
     Prefix-stable: [derive ~seed n] agrees with the first [n] entries of
     [derive ~seed m] for any [m >= n].
     @raise Invalid_argument if [n < 0]. *)

@@ -1,0 +1,14 @@
+(* gettimeofday clamped to be nondecreasing process-wide: an NTP step
+   backwards must never produce a negative duration. The CAS loop is
+   uncontended in practice (timers fire per run / per job, not per
+   reaction). *)
+let last = Atomic.make 0.
+
+let now () =
+  let t = Unix.gettimeofday () in
+  let rec clamp () =
+    let l = Atomic.get last in
+    if t >= l then if Atomic.compare_and_set last l t then t else clamp ()
+    else l
+  in
+  clamp ()

@@ -1,0 +1,13 @@
+(** Process-wide nondecreasing time source for the observability layer.
+
+    OCaml 5.1's [Unix] does not expose [CLOCK_MONOTONIC], so the best
+    available wall-clock source is {!Unix.gettimeofday}, which an NTP
+    step can move backwards. [now] clamps it against the largest value
+    any domain has seen, so two reads ordered by happens-before never
+    yield a negative duration — the property the timers and spans of
+    {!Metrics} actually rely on. Resolution is the system's
+    [gettimeofday] resolution (microseconds on Linux). *)
+
+val now : unit -> float
+(** Seconds since the Unix epoch, nondecreasing across all domains of
+    this process. *)

@@ -55,25 +55,46 @@ let fire (c : Compiled.t) state mu =
 let sum = Array.fold_left ( +. ) 0.
 
 (* Selects a reaction index from propensities [a] given a uniform draw
-   scaled by their sum. *)
+   scaled by their sum. Floating-point rounding can leave the running
+   cumulative sum short of [target] even though [target < sum a]; the
+   scan must then fall back to the last reaction with positive
+   propensity, never to a zero-propensity one (e.g. a reactant at count
+   0), which must not fire. *)
 let select a target =
   let n = Array.length a in
-  let rec go i acc =
-    if i >= n - 1 then i
+  let rec go i acc last =
+    if i >= n then last
+    else if a.(i) <= 0. then go (i + 1) acc last
     else
       let acc = acc +. a.(i) in
-      if target < acc then i else go (i + 1) acc
+      if target < acc then i else go (i + 1) acc i
   in
-  go 0 0.
+  match go 0 0. (-1) with
+  | -1 -> invalid_arg "Sim.select: no reaction has positive propensity"
+  | i -> i
 
-let run_direct rng (c : Compiled.t) cfg events recorder =
+(* Per-run instrumentation totals, accumulated in plain mutable fields
+   inside the hot loops and flushed to the metrics registry once per
+   run — the inner loops never touch an atomic or a clock. *)
+type tot = {
+  mutable n_evals : int; (* propensity evaluations *)
+  mutable n_heap : int; (* indexed-heap updates (next-reaction) *)
+  mutable n_obs : int; (* recorder observations *)
+}
+
+let run_direct rng (c : Compiled.t) cfg events recorder tot =
   let state = Array.copy c.c_initial in
   let fired = ref 0 and applied = ref 0 in
-  let a = Array.make (Array.length c.c_reactions) 0. in
-  Trace.Recorder.observe recorder cfg.t0 state;
+  let n_r = Array.length c.c_reactions in
+  let a = Array.make n_r 0. in
+  let observe t =
+    tot.n_obs <- tot.n_obs + 1;
+    Trace.Recorder.observe recorder t state
+  in
   let rec loop t events =
     if t < cfg.t_end then begin
       Compiled.propensities_into c state a;
+      tot.n_evals <- tot.n_evals + n_r;
       let a0 = sum a in
       let t_ev = Events.next_time events in
       if a0 <= 0. then begin
@@ -82,7 +103,7 @@ let run_direct rng (c : Compiled.t) cfg events recorder =
           match apply_events_at c state events with
           | Some (te, n, rest) ->
               applied := !applied + n;
-              Trace.Recorder.observe recorder te state;
+              observe te;
               loop te rest
           | None -> ()
         end
@@ -94,7 +115,7 @@ let run_direct rng (c : Compiled.t) cfg events recorder =
           match apply_events_at c state events with
           | Some (te, n, rest) ->
               applied := !applied + n;
-              Trace.Recorder.observe recorder te state;
+              observe te;
               loop te rest
           | None -> assert false (* t_ev finite implies an event exists *)
         end
@@ -102,7 +123,7 @@ let run_direct rng (c : Compiled.t) cfg events recorder =
           let mu = select a (Rng.float rng *. a0) in
           fire c state mu;
           incr fired;
-          Trace.Recorder.observe recorder t' state;
+          observe t';
           loop t' events
         end
       end
@@ -120,20 +141,28 @@ let run_direct rng (c : Compiled.t) cfg events recorder =
     | Some _ | None -> events
   in
   let events = catch_up events in
-  Trace.Recorder.observe recorder cfg.t0 state;
+  (* Observe only after catch-up so events at t0 are part of the
+     recorded initial state, exactly as in the other two algorithms. *)
+  observe cfg.t0;
   loop cfg.t0 events;
   (state, !fired, !applied)
 
-let run_next_reaction rng (c : Compiled.t) cfg events recorder =
+let run_next_reaction rng (c : Compiled.t) cfg events recorder tot =
   let state = Array.copy c.c_initial in
   let fired = ref 0 and applied = ref 0 in
   let n = Array.length c.c_reactions in
   let heap = Indexed_heap.create n in
   let a = Array.make n 0. in
+  let observe t =
+    tot.n_obs <- tot.n_obs + 1;
+    Trace.Recorder.observe recorder t state
+  in
   let draw_time t ai =
     if ai <= 0. then infinity else t +. Rng.exponential rng ~rate:ai
   in
   let redraw_all t =
+    tot.n_evals <- tot.n_evals + n;
+    tot.n_heap <- tot.n_heap + n;
     for i = 0 to n - 1 do
       a.(i) <- Float.max 0. (c.c_reactions.(i).c_propensity state);
       Indexed_heap.update heap i (draw_time t a.(i))
@@ -150,7 +179,7 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder =
     | Some _ | None -> events
   in
   let events = catch_up events in
-  Trace.Recorder.observe recorder cfg.t0 state;
+  observe cfg.t0;
   redraw_all cfg.t0;
   let rec loop events =
     let mu, t_mu = Indexed_heap.min heap in
@@ -160,7 +189,7 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder =
       match apply_events_at c state events with
       | Some (te, m, rest) ->
           applied := !applied + m;
-          Trace.Recorder.observe recorder te state;
+          observe te;
           (* Exponential memorylessness makes redrawing every clock after
              an intervention statistically exact. *)
           redraw_all te;
@@ -170,7 +199,7 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder =
     else begin
       fire c state mu;
       incr fired;
-      Trace.Recorder.observe recorder t_mu state;
+      observe t_mu;
       (* The fired reaction always draws a fresh clock, even when its
          propensity does not depend on anything it changed (a pure birth
          reaction, say) — otherwise its old firing time would stay at the
@@ -179,6 +208,9 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder =
       let affected =
         if List.mem mu affected then affected else mu :: affected
       in
+      let n_aff = List.length affected in
+      tot.n_evals <- tot.n_evals + n_aff;
+      tot.n_heap <- tot.n_heap + n_aff;
       List.iter
         (fun j ->
           let aj_old = a.(j) in
@@ -211,11 +243,15 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder =
    not worth their bias, so the loop falls back to exact direct-method
    steps there. Populations are clamped at zero after a leap (negative
    excursions are possible with Poisson counts). *)
-let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
+let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder tot =
   if epsilon <= 0. || epsilon >= 1. then
     invalid_arg "Sim: tau-leaping epsilon must be in (0, 1)";
   let state = Array.copy c.c_initial in
   let fired = ref 0 and applied = ref 0 in
+  let observe t =
+    tot.n_obs <- tot.n_obs + 1;
+    Trace.Recorder.observe recorder t state
+  in
   let n_species = Array.length c.c_names in
   let n_reactions = Array.length c.c_reactions in
   let mu = Array.make n_species 0. in
@@ -254,11 +290,12 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
     | Some _ | None -> events
   in
   let events = catch_up events in
-  Trace.Recorder.observe recorder cfg.t0 state;
+  observe cfg.t0;
   let a = Array.make n_reactions 0. in
   let rec loop t events =
     if t < cfg.t_end then begin
       Compiled.propensities_into c state a;
+      tot.n_evals <- tot.n_evals + n_reactions;
       let a0 = sum a in
       let t_ev = Events.next_time events in
       if a0 <= 0. then begin
@@ -266,7 +303,7 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
           match apply_events_at c state events with
           | Some (te, m, rest) ->
               applied := !applied + m;
-              Trace.Recorder.observe recorder te state;
+              observe te;
               loop te rest
           | None -> ()
         end
@@ -281,7 +318,7 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
             match apply_events_at c state events with
             | Some (te, m, rest) ->
                 applied := !applied + m;
-                Trace.Recorder.observe recorder te state;
+                observe te;
                 loop te rest
             | None -> assert false
           end
@@ -289,7 +326,7 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
             let mu_r = select a (Rng.float rng *. a0) in
             fire c state mu_r;
             incr fired;
-            Trace.Recorder.observe recorder t' state;
+            observe t';
             loop t' events
           end
         end
@@ -314,12 +351,12 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
             match apply_events_at c state events with
             | Some (te, m, rest) ->
                 applied := !applied + m;
-                Trace.Recorder.observe recorder te state;
+                observe te;
                 loop te rest
             | None -> assert false
           end
           else begin
-            Trace.Recorder.observe recorder t' state;
+            observe t';
             loop t' events
           end
         end
@@ -329,28 +366,57 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder =
   loop cfg.t0 events;
   (state, !fired, !applied)
 
-let run_compiled_rng ?(events = Events.empty) ~rng cfg (c : Compiled.t) =
+module Metrics = Glc_obs.Metrics
+
+let algorithm_label = function
+  | Direct -> "direct"
+  | Next_reaction -> "next_reaction"
+  | Tau_leaping _ -> "tau_leaping"
+
+(* One registry interaction per run: the loops above count into [tot];
+   this flushes the totals (and the run's wall time) after the fact. *)
+let flush_metrics metrics cfg ~fired ~applied ~samples tot ~t_start =
+  let algo = algorithm_label cfg.algorithm in
+  let c name = Metrics.counter metrics name in
+  Metrics.Counter.incr (c ("ssa.runs." ^ algo));
+  Metrics.Counter.add (c "ssa.reactions_fired") fired;
+  Metrics.Counter.add (c "ssa.events_applied") applied;
+  Metrics.Counter.add (c "ssa.propensity_evals") tot.n_evals;
+  Metrics.Counter.add (c "ssa.heap_updates") tot.n_heap;
+  Metrics.Counter.add (c "ssa.recorder_observes") tot.n_obs;
+  Metrics.Counter.add (c "ssa.trace_samples") samples;
+  Metrics.observe_since metrics ("ssa.run_seconds." ^ algo) t_start
+
+let run_compiled_rng ?(events = Events.empty) ?(metrics = Metrics.noop) ~rng
+    cfg (c : Compiled.t) =
+  let live = Metrics.enabled metrics in
+  let t_start = if live then Glc_obs.Clock.now () else 0. in
   let recorder =
     Trace.Recorder.create ~names:c.c_names ~initial:c.c_initial ~t0:cfg.t0
       ~t_end:cfg.t_end ~dt:cfg.dt
   in
+  let tot = { n_evals = 0; n_heap = 0; n_obs = 0 } in
   let state, fired, applied =
     match cfg.algorithm with
-    | Direct -> run_direct rng c cfg events recorder
-    | Next_reaction -> run_next_reaction rng c cfg events recorder
+    | Direct -> run_direct rng c cfg events recorder tot
+    | Next_reaction -> run_next_reaction rng c cfg events recorder tot
     | Tau_leaping { epsilon } ->
-        run_tau_leap rng c cfg ~epsilon events recorder
+        run_tau_leap rng c cfg ~epsilon events recorder tot
   in
   let trace = Trace.Recorder.finish recorder in
+  if live then
+    flush_metrics metrics cfg ~fired ~applied ~samples:(Trace.length trace)
+      tot ~t_start;
   let final_state =
     Array.to_list (Array.mapi (fun i id -> (id, state.(i))) c.c_names)
   in
   (trace, { reactions_fired = fired; events_applied = applied; final_state })
 
-let run_compiled ?events cfg c =
-  run_compiled_rng ?events ~rng:(Rng.create cfg.seed) cfg c
+let run_compiled ?events ?metrics cfg c =
+  run_compiled_rng ?events ?metrics ~rng:(Rng.create cfg.seed) cfg c
 
-let run_with_stats ?events cfg model =
-  run_compiled ?events cfg (Compiled.compile model)
+let run_with_stats ?events ?metrics cfg model =
+  run_compiled ?events ?metrics cfg (Compiled.compile model)
 
-let run ?events cfg model = fst (run_with_stats ?events cfg model)
+let run ?events ?metrics cfg model =
+  fst (run_with_stats ?events ?metrics cfg model)

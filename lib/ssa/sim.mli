@@ -38,23 +38,51 @@ type stats = {
   final_state : (string * float) list;
 }
 
-val run : ?events:Events.schedule -> config -> Model.t -> Trace.t
+val run :
+  ?events:Events.schedule -> ?metrics:Glc_obs.Metrics.t -> config ->
+  Model.t -> Trace.t
 (** Compiles and simulates the model. Events clamp species to new values
     at their scheduled times; reaction firings never drive a count below
-    zero (propensities are clamped at zero). *)
+    zero (propensities are clamped at zero).
+
+    When [metrics] is a live registry (default {!Glc_obs.Metrics.noop}),
+    each run flushes per-run totals into it once, after the simulation:
+    counters [ssa.runs.<algo>], [ssa.reactions_fired],
+    [ssa.events_applied], [ssa.propensity_evals], [ssa.heap_updates],
+    [ssa.recorder_observes], [ssa.trace_samples] (all deterministic for
+    a fixed seed) and the wall-time histogram [ssa.run_seconds.<algo>],
+    where [<algo>] is [direct], [next_reaction] or [tau_leaping]. The
+    inner loops accumulate in plain local fields, so instrumentation
+    adds no atomic traffic to the hot path. *)
 
 val run_with_stats :
-  ?events:Events.schedule -> config -> Model.t -> Trace.t * stats
+  ?events:Events.schedule -> ?metrics:Glc_obs.Metrics.t -> config ->
+  Model.t -> Trace.t * stats
 
 val run_compiled :
-  ?events:Events.schedule -> config -> Compiled.t -> Trace.t * stats
+  ?events:Events.schedule -> ?metrics:Glc_obs.Metrics.t -> config ->
+  Compiled.t -> Trace.t * stats
 (** Reuses an already compiled model (the benchmark harness simulates the
     same circuit many times). *)
 
 val run_compiled_rng :
-  ?events:Events.schedule -> rng:Rng.t -> config -> Compiled.t ->
-  Trace.t * stats
+  ?events:Events.schedule -> ?metrics:Glc_obs.Metrics.t -> rng:Rng.t ->
+  config -> Compiled.t -> Trace.t * stats
 (** Like {!run_compiled} but draws randomness from a caller-supplied
     generator instead of seeding a fresh one from [config.seed] (which is
     ignored). The ensemble engine uses this to give every replicate its
     own {!Rng.split}-derived stream while sharing one compiled model. *)
+
+(**/**)
+
+val select : float array -> float -> int
+(** [select a target] is the index of the reaction the direct method
+    fires for cumulative-propensity target [target ∈ \[0, sum a)]: the
+    first index [i] with positive propensity whose running cumulative
+    sum exceeds [target]. Zero-propensity reactions are never selected,
+    even when floating-point rounding leaves the cumulative sum below
+    [target]; the draw then falls back to the last positive-propensity
+    index. Raises [Invalid_argument] if no propensity is positive.
+    Exposed for tests. *)
+
+(**/**)

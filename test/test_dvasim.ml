@@ -133,6 +133,33 @@ let test_threshold_estimate () =
   (* the NOT gate swings roughly 1 <-> 100 molecules *)
   checkb "meaningful separation" true (est.Threshold.separation > 5.)
 
+(* Regression: a sampling step coarser than the hold slot used to crash
+   with Division_by_zero deep in the settle-window arithmetic; it must
+   be rejected up front instead. *)
+let test_threshold_estimate_dt_coarser_than_hold () =
+  let protocol =
+    Protocol.make ~total_time:2_000. ~hold_time:100. ~dt:250. ~seed:3 ()
+  in
+  let c = Circuits.genetic_not () in
+  Alcotest.check_raises "rejected up front"
+    (Invalid_argument
+       "Threshold.estimate: hold_time < dt leaves no samples per hold slot")
+    (fun () -> ignore (Threshold.estimate ~protocol c))
+
+(* A non-integer hold_time/dt ratio is legitimate: each slot simply
+   contributes floor(hold/dt) samples. *)
+let test_threshold_estimate_ragged_ratio () =
+  let protocol =
+    Protocol.make ~total_time:2_000. ~hold_time:250. ~dt:100. ~seed:3 ()
+  in
+  let c = Circuits.genetic_not () in
+  let est = Threshold.estimate ~protocol c in
+  checkb "low below high" true
+    (est.Threshold.low_level < est.Threshold.high_level);
+  checkb "threshold between rails" true
+    (est.Threshold.threshold > est.Threshold.low_level
+    && est.Threshold.threshold < est.Threshold.high_level)
+
 (* ---- propagation delay ---- *)
 
 let test_prop_delay_measure () =
@@ -295,6 +322,10 @@ let () =
           Alcotest.test_case "degenerate clusters" `Quick
             test_two_means_degenerate;
           Alcotest.test_case "estimate" `Slow test_threshold_estimate;
+          Alcotest.test_case "dt coarser than hold rejected" `Quick
+            test_threshold_estimate_dt_coarser_than_hold;
+          Alcotest.test_case "ragged hold/dt ratio" `Slow
+            test_threshold_estimate_ragged_ratio;
         ] );
       ( "prop_delay",
         [

@@ -1,0 +1,226 @@
+(* Tests for glc_obs: instrument semantics, the no-op sink, the
+   deterministic sorted-key JSON export, and the end-to-end contract
+   that an instrumented ensemble's deterministic section is
+   byte-identical across runs and worker counts. *)
+
+module Metrics = Glc_obs.Metrics
+module Clock = Glc_obs.Clock
+module Circuits = Glc_gates.Circuits
+module Protocol = Glc_dvasim.Protocol
+module Ensemble = Glc_engine.Ensemble
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+let checks = Alcotest.check Alcotest.string
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let expect_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail ("expected Invalid_argument: " ^ msg)
+
+(* ---- clock ---- *)
+
+let test_clock_nondecreasing () =
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 1_000 do
+    let t = Clock.now () in
+    checkb "nondecreasing" true (t >= !prev);
+    prev := t
+  done
+
+(* ---- instruments ---- *)
+
+let test_counter () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t "a" in
+  checki "starts at zero" 0 (Metrics.Counter.value c);
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 41;
+  checki "incr + add" 42 (Metrics.Counter.value c);
+  (* same name resolves to the same counter *)
+  Metrics.Counter.incr (Metrics.counter t "a");
+  checki "shared by name" 43 (Metrics.Counter.value c)
+
+let test_gauge () =
+  let t = Metrics.create () in
+  let g = Metrics.gauge t "g" in
+  checkf 0. "starts at zero" 0. (Metrics.Gauge.value g);
+  Metrics.Gauge.set g 2.5;
+  Metrics.Gauge.add g (-1.);
+  checkf 0. "set + add" 1.5 (Metrics.Gauge.value g);
+  Metrics.Gauge.set (Metrics.gauge t "g") 7.;
+  checkf 0. "shared by name" 7. (Metrics.Gauge.value g)
+
+let test_histogram () =
+  let t = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 1.; 10. |] t "h" in
+  checki "empty count" 0 (Metrics.Histogram.count h);
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 5.; 500. ];
+  checki "count" 3 (Metrics.Histogram.count h);
+  checkf 1e-9 "sum" 505.5 (Metrics.Histogram.sum h);
+  (* one observation per bucket, including the overflow bucket *)
+  checkb "bucket counts in export" true
+    (contains (Metrics.to_json t) "\"counts\":[1,1,1]")
+
+let test_histogram_bucket_validation () =
+  let t = Metrics.create () in
+  expect_invalid "empty buckets" (fun () ->
+      Metrics.histogram ~buckets:[||] t "bad");
+  expect_invalid "non-increasing buckets" (fun () ->
+      Metrics.histogram ~buckets:[| 1.; 1. |] t "bad2")
+
+let test_kind_collision () =
+  let t = Metrics.create () in
+  ignore (Metrics.counter t "x");
+  expect_invalid "counter reused as gauge" (fun () -> Metrics.gauge t "x");
+  expect_invalid "counter reused as histogram" (fun () ->
+      Metrics.histogram t "x")
+
+(* ---- no-op sink ---- *)
+
+let test_noop_discards () =
+  let t = Metrics.noop in
+  checkb "disabled" false (Metrics.enabled t);
+  checkb "live registry enabled" true (Metrics.enabled (Metrics.create ()));
+  let c = Metrics.counter t "n" in
+  Metrics.Counter.add c 100;
+  checki "counter writes dropped" 0 (Metrics.Counter.value c);
+  let g = Metrics.gauge t "n2" in
+  Metrics.Gauge.set g 5.;
+  checkf 0. "gauge writes dropped" 0. (Metrics.Gauge.value g);
+  let h = Metrics.histogram t "n3" in
+  Metrics.Histogram.observe h 1.;
+  checki "histogram writes dropped" 0 (Metrics.Histogram.count h);
+  checki "time passes result through" 9 (Metrics.time t "n4" (fun () -> 9));
+  checki "span passes result through" 8 (Metrics.span t "sp" (fun () -> 8));
+  checks "export stays empty"
+    "{\"deterministic\":{\"counters\":{},\"gauges\":{}},\"timings\":{\"histograms\":{},\"spans\":{\"dropped\":0,\"events\":[]}}}"
+    (Metrics.to_json t)
+
+(* ---- export ---- *)
+
+let test_export_sorted_and_repeatable () =
+  let t = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter t "zeta") 1;
+  Metrics.Counter.add (Metrics.counter t "alpha") 2;
+  Metrics.Gauge.set (Metrics.gauge t "mid") 0.5;
+  let json = Metrics.deterministic_json t in
+  checks "sorted keys, shortest floats"
+    "{\"counters\":{\"alpha\":2,\"zeta\":1},\"gauges\":{\"mid\":0.5}}" json;
+  checks "repeatable" json (Metrics.deterministic_json t)
+
+let test_deterministic_json_excludes_timings () =
+  let t = Metrics.create () in
+  Metrics.Counter.incr (Metrics.counter t "kept");
+  Metrics.Histogram.observe (Metrics.histogram t "wall") 0.1;
+  ignore (Metrics.span t "a_span" (fun () -> ()));
+  let det = Metrics.deterministic_json t in
+  checkb "counter present" true (contains det "kept");
+  checkb "histogram excluded" false (contains det "wall");
+  checkb "span excluded" false (contains det "a_span")
+
+(* ---- spans and timers ---- *)
+
+let test_span_records_on_raise () =
+  let t = Metrics.create () in
+  (match Metrics.span t "boom" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  checkb "span recorded despite raise" true
+    (contains (Metrics.to_json t) "\"name\":\"boom\"");
+  (match Metrics.time t "boom_s" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  checki "duration recorded despite raise" 1
+    (Metrics.Histogram.count (Metrics.histogram t "boom_s"))
+
+let test_span_buffer_cap () =
+  let t = Metrics.create () in
+  for _ = 1 to 4_100 do
+    Metrics.span t "s" (fun () -> ())
+  done;
+  checkb "drops counted past the cap" true
+    (contains (Metrics.to_json t) "\"dropped\":4")
+
+(* ---- cross-domain safety ---- *)
+
+let test_counter_across_domains () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t "shared" in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Metrics.Counter.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  checki "no lost increments" 40_000 (Metrics.Counter.value c)
+
+(* ---- end-to-end determinism contract ---- *)
+
+let ensemble_deterministic_section ~jobs =
+  let metrics = Metrics.create () in
+  let cfg =
+    Ensemble.config ~replicates:4 ~jobs ~seed:7
+      ~protocol:
+        (Protocol.make ~total_time:2_000. ~hold_time:1_000. ())
+      ()
+  in
+  ignore (Ensemble.run ~metrics cfg (Circuits.genetic_not ()));
+  Metrics.deterministic_json metrics
+
+let test_ensemble_deterministic_section () =
+  let reference = ensemble_deterministic_section ~jobs:1 in
+  checkb "counters were recorded" true
+    (contains reference "\"ssa.reactions_fired\":");
+  checks "byte-identical across runs" reference
+    (ensemble_deterministic_section ~jobs:1);
+  checks "byte-identical across worker counts" reference
+    (ensemble_deterministic_section ~jobs:2)
+
+let () =
+  Alcotest.run "glc_obs"
+    [
+      ("clock", [ Alcotest.test_case "nondecreasing" `Quick test_clock_nondecreasing ]);
+      ( "instruments",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "bucket validation" `Quick
+            test_histogram_bucket_validation;
+          Alcotest.test_case "kind collision" `Quick test_kind_collision;
+        ] );
+      ( "noop",
+        [ Alcotest.test_case "discards writes" `Quick test_noop_discards ] );
+      ( "export",
+        [
+          Alcotest.test_case "sorted and repeatable" `Quick
+            test_export_sorted_and_repeatable;
+          Alcotest.test_case "deterministic section excludes timings" `Quick
+            test_deterministic_json_excludes_timings;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "recorded on raise" `Quick
+            test_span_records_on_raise;
+          Alcotest.test_case "buffer cap" `Quick test_span_buffer_cap;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "counter across domains" `Quick
+            test_counter_across_domains;
+        ] );
+      ( "ensemble",
+        [
+          Alcotest.test_case "deterministic section byte-identical" `Slow
+            test_ensemble_deterministic_section;
+        ] );
+    ]

@@ -664,6 +664,107 @@ let test_sim_next_reaction_with_events () =
   checkf 0. "reset visible" 0. (Trace.value tr "X" 500);
   checkb "recovers" true (final tr "X" > 50.)
 
+(* ---- reaction selection (direct method) ---- *)
+
+(* Regression: the selector used to fall through to index n-1 whenever
+   rounding left the cumulative sum short of the target — firing a
+   reaction with propensity 0. It must fall back to the last reaction
+   with positive propensity instead. *)
+let test_select_skips_zero_propensity () =
+  (* target equal to the full sum: rounding-miss fallback territory *)
+  checki "trailing zero is never selected" 0 (Sim.select [| 1.; 0. |] 1.0);
+  checki "falls back to last positive index" 1
+    (Sim.select [| 0.3; 0.3; 0. |] 0.6);
+  (* zero-propensity entries are skipped in the scan itself *)
+  checki "leading zero skipped" 1 (Sim.select [| 0.; 2.; 0. |] 1.5);
+  checki "interior zero skipped" 2 (Sim.select [| 0.5; 0.; 0.5 |] 0.75);
+  (* ordinary in-range draws are untouched by the fix *)
+  checki "first reaction" 0 (Sim.select [| 1.; 1. |] 0.5);
+  checki "second reaction" 1 (Sim.select [| 1.; 1. |] 1.5);
+  match Sim.select [| 0.; 0. |] 0. with
+  | exception Invalid_argument _ -> ()
+  | i -> Alcotest.failf "all-zero vector selected reaction %d" i
+
+let prop_select_positive_propensity =
+  QCheck.Test.make ~name:"select never picks a zero-propensity reaction"
+    ~count:500
+    QCheck.(pair (small_list (int_bound 10)) (int_bound 999))
+    (fun (raw, frac) ->
+      (* propensity vector with zeros mixed in; at least one positive *)
+      let a = Array.of_list (List.map float_of_int (1 :: raw)) in
+      let total = Array.fold_left ( +. ) 0. a in
+      let target = total *. (float_of_int frac /. 1000.) in
+      a.(Sim.select a target) > 0.)
+
+(* An event exactly at t0 must be part of the recorded initial state —
+   under every algorithm. *)
+let test_sim_event_at_t0_in_first_sample () =
+  let m =
+    Model.make ~id:"t0ev"
+      ~species:
+        [ Model.species ~boundary:true "I" 0.; Model.species "P" 0. ]
+      ~reactions:
+        [
+          Model.reaction ~products:[ ("P", 1) ] ~modifiers:[ "I" ]
+            ~rate:Math.(num 0.001 * var "I")
+            "prod";
+        ]
+      ()
+  in
+  let events = Events.of_list [ Events.set 0. "I" 25. ] in
+  List.iter
+    (fun (name, algorithm) ->
+      let cfg = Sim.config ~algorithm ~t_end:5. () in
+      let tr = Sim.run ~events cfg m in
+      checkf 0.
+        (name ^ ": t0 event visible in the first sample")
+        25. (Trace.value tr "I" 0))
+    [
+      ("direct", Sim.Direct);
+      ("next-reaction", Sim.Next_reaction);
+      ("tau-leap", Sim.Tau_leaping { epsilon = 0.03 });
+    ]
+
+(* ---- recorder grid property ---- *)
+
+let prop_recorder_grid =
+  QCheck.Test.make
+    ~name:"recorder: finish yields the full grid, each point holding the \
+           latest observation at or before it" ~count:300
+    QCheck.(
+      pair (int_range 1 20) (small_list (pair (int_bound 40) (int_bound 99))))
+    (fun (t_end_i, steps) ->
+      let t_end = float_of_int t_end_i in
+      let r =
+        Trace.Recorder.create ~names:[| "x" |] ~initial:[| -1. |] ~t0:0.
+          ~t_end ~dt:1.
+      in
+      (* nondecreasing observation times in tenths, some past t_end;
+         [obs] is newest-first, seeded with the initial state at t0 *)
+      let t = ref 0. in
+      let obs = ref [ (0., -1.) ] in
+      List.iter
+        (fun (dt10, v) ->
+          t := !t +. (float_of_int dt10 /. 10.);
+          let v = float_of_int v in
+          Trace.Recorder.observe r !t [| v |];
+          obs := (!t, v) :: !obs)
+        steps;
+      let tr = Trace.Recorder.finish r in
+      let samples = t_end_i + 1 in
+      Trace.length tr = samples
+      && List.for_all
+           (fun k ->
+             let tk = float_of_int k in
+             let expected =
+               (* newest-first scan: first entry at or before the grid
+                  point is the latest one *)
+               List.find_opt (fun (ti, _) -> ti <= tk) !obs
+               |> Option.fold ~none:(-1.) ~some:snd
+             in
+             Trace.value tr "x" k = expected)
+           (List.init samples Fun.id))
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "glc_ssa"
@@ -701,7 +802,7 @@ let () =
           Alcotest.test_case "concat validation" `Quick
             test_trace_concat_validation;
         ]
-        @ qc [ prop_trace_split_concat ] );
+        @ qc [ prop_trace_split_concat; prop_recorder_grid ] );
       ( "events",
         Alcotest.test_case "schedules" `Quick test_events
         :: qc [ prop_events_merge_sorted ] );
@@ -736,7 +837,12 @@ let () =
             test_sim_tau_leap_determinism_and_events;
           Alcotest.test_case "tau-leap bad epsilon" `Quick
             test_sim_tau_leap_bad_epsilon;
-        ] );
+          Alcotest.test_case "select skips zero propensity" `Quick
+            test_select_skips_zero_propensity;
+          Alcotest.test_case "event at t0 in first sample" `Quick
+            test_sim_event_at_t0_in_first_sample;
+        ]
+        @ qc [ prop_select_positive_propensity ] );
       ( "population",
         [
           Alcotest.test_case "mean of cells" `Slow test_population_mean;

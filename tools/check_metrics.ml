@@ -1,0 +1,61 @@
+(* CI gate for the --metrics export: the file must parse with the
+   project's own JSON reader and carry the documented shape —
+   {"deterministic":{"counters":{...},"gauges":{...}},
+    "timings":{"histograms":{...},"spans":{...}}} —
+   plus, for an ensemble run, the SSA and engine counters the rest of
+   the tooling keys on. Exits nonzero with a message on any mismatch. *)
+
+module Json = Glc_core.Report.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_metrics: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let member v key =
+  match Json.member v key with
+  | Some x -> x
+  | None -> fail "missing key %S" key
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: check_metrics FILE.json";
+        exit 2
+  in
+  let text = try read_file path with Sys_error m -> fail "%s" m in
+  let doc =
+    match Json.parse text with
+    | Ok doc -> doc
+    | Error m -> fail "does not parse with Report.Json: %s" m
+  in
+  let det = member doc "deterministic" in
+  let counters = member det "counters" in
+  ignore (member det "gauges");
+  let timings = member doc "timings" in
+  ignore (member timings "histograms");
+  let spans = member timings "spans" in
+  ignore (member spans "dropped");
+  ignore (member spans "events");
+  (* counters an ensemble run must have recorded *)
+  List.iter
+    (fun key ->
+      match Json.to_int (member counters key) with
+      | Some n when n >= 0 -> ()
+      | Some _ -> fail "counter %S is negative" key
+      | None -> fail "counter %S is not an integer" key)
+    [
+      "ssa.reactions_fired";
+      "ssa.propensity_evals";
+      "ssa.trace_samples";
+      "engine.seeds_derived";
+      "engine.replicates_ok";
+      "pool.tasks";
+    ];
+  Printf.printf "check_metrics: %s OK\n" path
