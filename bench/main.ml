@@ -4,6 +4,8 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig2    -- one artefact
                                  fig3 | fig4 | fig5 | table1 | timing
+                                 ssa     -- sparse-engine benchmark,
+                                            writes BENCH_ssa.json
 
    Absolute numbers differ from the paper (our substrate is a re-built
    simulator, not the authors' testbed); the *shape* of each result is
@@ -772,6 +774,104 @@ let campaign_bench () =
     with_store bare
     ((with_store -. bare) *. 1e3)
 
+(* ---- SSA hot path: sparse propensity engine vs full recompute ---- *)
+
+(* Every Table-1 model, direct method with dependency-driven sparse
+   updates (the default) against the full-recompute reference. The two
+   must produce byte-identical traces; the sparse path wins by doing
+   O(deps) instead of O(R) propensity evaluations per firing. Writes the
+   machine-readable results to BENCH_ssa.json (CI uploads it as an
+   artifact). *)
+let bench_ssa () =
+  section "SSA -- sparse propensity engine (Table-1 models, direct method)";
+  let module Sim = Glc_ssa.Sim in
+  let module Metrics = Glc_obs.Metrics in
+  let t_end = 2_000. in
+  let seed = 42 in
+  let measure model events algorithm =
+    let metrics = Metrics.create () in
+    let cfg = Sim.config ~seed ~algorithm ~t_end () in
+    let t0 = Unix.gettimeofday () in
+    let trace, stats = Sim.run_with_stats ~events ~metrics cfg model in
+    let wall = Unix.gettimeofday () -. t0 in
+    let evals =
+      Metrics.Counter.value
+        (Metrics.counter metrics "ssa.propensity_evals")
+    in
+    (trace, stats.Glc_ssa.Sim.reactions_fired, evals, wall)
+  in
+  (* warm-up: code and allocator, so the first row's wall time is not
+     charged for cold caches *)
+  (let c = List.hd (Benchmarks.all ()) in
+   ignore
+     (measure (Circuit.model c)
+        (Experiment.input_schedule Protocol.default c)
+        Sim.Direct));
+  Printf.printf
+    "seed %d, %g t.u. under the paper's input stimulus; 'evals/step' is \
+     propensity evaluations per reaction firing\n\n" seed t_end;
+  Printf.printf "%-14s %5s %9s %12s %12s %7s %10s %10s\n" "circuit" "R"
+    "steps" "evals(spar)" "evals(full)" "ratio" "steps/s sp" "steps/s fl";
+  let rows =
+    List.map
+      (fun circuit ->
+        let model = Circuit.model circuit in
+        let events = Experiment.input_schedule Protocol.default circuit in
+        let n_r = List.length model.Glc_model.Model.m_reactions in
+        let tr_s, steps_s, evals_s, wall_s = measure model events Sim.Direct in
+        let tr_f, steps_f, evals_f, wall_f =
+          measure model events Sim.Direct_full_recompute
+        in
+        let identical = String.equal (Trace.to_csv tr_s) (Trace.to_csv tr_f) in
+        if not identical then
+          Printf.printf "!! %s: sparse trace DIVERGES from reference\n"
+            circuit.Circuit.name;
+        assert (steps_s = steps_f);
+        let per_step evals steps =
+          if steps = 0 then 0. else float_of_int evals /. float_of_int steps
+        in
+        let rate steps wall =
+          if wall <= 0. then 0. else float_of_int steps /. wall
+        in
+        Printf.printf "%-14s %5d %9d %12.2f %12.2f %6.1fx %10.0f %10.0f\n"
+          circuit.Circuit.name n_r steps_s
+          (per_step evals_s steps_s)
+          (per_step evals_f steps_f)
+          (float_of_int evals_f /. float_of_int (max 1 evals_s))
+          (rate steps_s wall_s) (rate steps_f wall_f);
+        (circuit, n_r, steps_s, evals_s, wall_s, evals_f, wall_f, identical))
+      (Benchmarks.all ())
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"bench\": \"ssa\",\n  \"algorithm\": \"direct\",\n  \
+        \"seed\": %d,\n  \"t_end\": %g,\n  \"circuits\": [\n" seed t_end);
+  List.iteri
+    (fun i (circuit, n_r, steps, evals_s, wall_s, evals_f, wall_f, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"reactions\": %d, \"steps\": %d,\n     \
+            \"sparse\": {\"propensity_evals\": %d, \"wall_s\": %.4f},\n     \
+            \"full\": {\"propensity_evals\": %d, \"wall_s\": %.4f},\n     \
+            \"evals_ratio\": %.2f, \"byte_identical\": %b}%s\n"
+           circuit.Circuit.name n_r steps evals_s wall_s evals_f wall_f
+           (float_of_int evals_f /. float_of_int (max 1 evals_s))
+           identical
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_ssa.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, _, id) -> id) rows
+  in
+  Printf.printf
+    "\nwrote BENCH_ssa.json; traces byte-identical on all circuits: %s\n"
+    (if all_identical then "yes" else "NO!");
+  if not all_identical then exit 1
+
 (* ---- observability: instrumentation overhead (lib/obs) ---- *)
 
 (* The Table-1 workload — all 15 benchmark circuits under the paper's
@@ -836,6 +936,7 @@ let all () =
   scaling ();
   ensemble_scaling ();
   campaign_bench ();
+  bench_ssa ();
   obs_bench ();
   timing ()
 
@@ -863,13 +964,14 @@ let () =
       | "scaling" -> scaling ()
       | "ensemble" -> ensemble_scaling ()
       | "campaign" -> campaign_bench ()
+      | "ssa" -> bench_ssa ()
       | "obs" -> obs_bench ()
       | "all" -> all ()
       | other ->
           Printf.eprintf
             "unknown artefact %S \
              (fig2|fig3|fig4|fig5|table1|timing|ablation_hold|ablation_fov|\
-             ablation_algorithms|ablation_yield|ablation_order|baselines|population|scaling|ensemble|campaign|obs|all)\n"
+             ablation_algorithms|ablation_yield|ablation_order|baselines|population|scaling|ensemble|campaign|ssa|obs|all)\n"
             other;
           exit 2)
     jobs

@@ -105,6 +105,7 @@ let algorithm_opt =
     Arg.enum
       [
         ("direct", Glc_ssa.Sim.Direct);
+        ("direct-full", Glc_ssa.Sim.Direct_full_recompute);
         ("next-reaction", Glc_ssa.Sim.Next_reaction);
         ("tau-leap", Glc_ssa.Sim.Tau_leaping { epsilon = 0.03 });
       ]
@@ -112,8 +113,9 @@ let algorithm_opt =
   Arg.value
     (Arg.opt conv Glc_ssa.Sim.Direct
        (Arg.info [ "algorithm"; "a" ] ~docv:"ALGO"
-          ~doc:"SSA variant: $(b,direct), $(b,next-reaction) or \
-                $(b,tau-leap)."))
+          ~doc:"SSA variant: $(b,direct), $(b,direct-full) (the direct \
+                method without sparse propensity updates, kept as a \
+                reference), $(b,next-reaction) or $(b,tau-leap)."))
 
 let gray_opt =
   Arg.value

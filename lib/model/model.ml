@@ -86,18 +86,16 @@ let validate m =
     m.m_species;
   let is_species id = List.mem id species_ids in
   let is_known id = is_species id || List.mem id param_ids in
-  let is_boundary id =
-    match find_species m id with Some s -> s.s_boundary | None -> false
-  in
   List.iter
     (fun r ->
       let check_side side =
+        (* Boundary species are legal reactants and products (SBML
+           boundaryCondition): they shape the kinetics but simulation
+           holds their amounts fixed. *)
         List.iter
           (fun (id, st) ->
             if not (is_species id) then
-              err "reaction %S references undeclared species %S" r.r_id id
-            else if is_boundary id then
-              err "reaction %S writes to boundary species %S" r.r_id id;
+              err "reaction %S references undeclared species %S" r.r_id id;
             if st <= 0 then
               err "reaction %S has non-positive stoichiometry for %S" r.r_id id)
           side

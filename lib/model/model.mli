@@ -12,8 +12,11 @@ type species = {
   s_name : string;  (** human-readable name; defaults to [s_id] *)
   s_initial : float;  (** initial molecule count *)
   s_boundary : bool;
-      (** boundary species are never changed by reactions — used for the
-          circuit's input signals, which the virtual laboratory drives *)
+      (** SBML [boundaryCondition]: the species may appear as a
+          reactant or product (its amount still scales the kinetic
+          law) but reaction firings never change it — used for the
+          circuit's input signals, which the virtual laboratory
+          drives *)
 }
 
 type parameter = { p_id : string; p_value : float }
@@ -60,8 +63,9 @@ val make :
 val validate : t -> string list
 (** Well-formedness diagnostics: duplicate identifiers, references to
     undeclared species/parameters (in stoichiometry lists or kinetic
-    laws), non-positive stoichiometry, negative initial amounts, reactions
-    writing to boundary species. Empty means valid. *)
+    laws), non-positive stoichiometry, negative initial amounts. Empty
+    means valid. Boundary species as reactants or products are legal
+    (SBML [boundaryCondition]); simulation holds their amounts fixed. *)
 
 val find_species : t -> string -> species option
 val find_parameter : t -> string -> parameter option

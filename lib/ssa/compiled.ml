@@ -15,6 +15,7 @@ type t = {
   c_boundary : bool array;
   c_reactions : reaction array;
   c_dependents : int list array;
+  c_affected : int array array;
 }
 
 (* Compile a kinetic law to a closure over the state vector. Parameters
@@ -79,6 +80,9 @@ let compile (m : Model.t) =
         (Printf.sprintf "Compiled.compile: %s" (String.concat "; " errs)));
   let species = Array.of_list m.m_species in
   let names = Array.map (fun (s : Model.species) -> s.s_id) species in
+  let boundary =
+    Array.map (fun (s : Model.species) -> s.s_boundary) species
+  in
   let index = Hashtbl.create 32 in
   Array.iteri (fun i id -> Hashtbl.replace index id i) names;
   let reactions =
@@ -93,9 +97,14 @@ let compile (m : Model.t) =
            in
            List.iter (add (-1.)) r.r_reactants;
            List.iter (add 1.) r.r_products;
+           (* SBML boundaryCondition semantics: a boundary species may
+              participate in a reaction (its amount still scales the
+              kinetic law) but is never changed by firings, so its
+              deltas are dropped here — the single place every
+              simulation algorithm applies state changes from. *)
            let c_deltas =
              Hashtbl.fold (fun i d acc -> (i, d) :: acc) deltas []
-             |> List.filter (fun (_, d) -> d <> 0.)
+             |> List.filter (fun (i, d) -> d <> 0. && not boundary.(i))
              |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
            in
            let c_propensity, c_reads = compile_rate m index r.r_rate in
@@ -108,14 +117,21 @@ let compile (m : Model.t) =
       List.iter (fun s -> dependents.(s) <- ri :: dependents.(s)) r.c_reads)
     reactions;
   Array.iteri (fun s l -> dependents.(s) <- List.rev l) dependents;
+  let affected =
+    Array.map
+      (fun r ->
+        List.concat_map (fun (s, _) -> dependents.(s)) r.c_deltas
+        |> List.sort_uniq Int.compare |> Array.of_list)
+      reactions
+  in
   {
     c_model = m;
     c_names = names;
     c_initial = Array.map (fun (s : Model.species) -> s.s_initial) species;
-    c_boundary =
-      Array.map (fun (s : Model.species) -> s.s_boundary) species;
+    c_boundary = boundary;
     c_reactions = reactions;
     c_dependents = dependents;
+    c_affected = affected;
   }
 
 let species_index t id =
@@ -137,7 +153,12 @@ let propensities_into t state a =
     a.(i) <- Float.max 0. (t.c_reactions.(i).c_propensity state)
   done
 
-let affected_reactions t ri =
-  let r = t.c_reactions.(ri) in
-  List.concat_map (fun (s, _) -> t.c_dependents.(s)) r.c_deltas
-  |> List.sort_uniq Int.compare
+let affected_reactions t ri = t.c_affected.(ri)
+
+let refresh_affected t state ri a =
+  let aff = t.c_affected.(ri) in
+  for k = 0 to Array.length aff - 1 do
+    let j = aff.(k) in
+    a.(j) <- Float.max 0. (t.c_reactions.(j).c_propensity state)
+  done;
+  Array.length aff

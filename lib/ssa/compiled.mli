@@ -9,7 +9,11 @@ module Model := Glc_model.Model
 type reaction = {
   c_id : string;
   c_deltas : (int * float) list;
-      (** net state change: species index, signed amount *)
+      (** net state change: species index, signed amount. Boundary
+          species are excluded at compile time (SBML
+          [boundaryCondition]: they participate in the kinetics but are
+          never changed by firings), so every algorithm that applies
+          deltas holds them fixed for free. *)
   c_propensity : float array -> float;
   c_reads : int list;  (** species indices the propensity depends on *)
 }
@@ -23,6 +27,11 @@ type t = {
   c_dependents : int list array;
       (** [c_dependents.(s)] lists reactions whose propensity reads
           species [s] *)
+  c_affected : int array array;
+      (** [c_affected.(r)] is the dependency closure of reaction [r]:
+          every reaction whose propensity reads a species [r] changes,
+          sorted, duplicate-free, precomputed once at compile time so
+          the simulators' firing loops allocate nothing *)
 }
 
 val compile : Model.t -> t
@@ -43,6 +52,16 @@ val propensities_into : t -> float array -> float array -> unit
     GCs (stop-the-world under domains) off the multicore hot path.
     @raise Invalid_argument if [a] is not one slot per reaction. *)
 
-val affected_reactions : t -> int -> int list
+val affected_reactions : t -> int -> int array
 (** Reactions whose propensity may change when the given reaction fires
-    (including itself if it reads a species it writes). *)
+    (including itself if it reads a species it writes). Returns the
+    precomputed [c_affected] row — O(1), and the caller must not
+    mutate it. *)
+
+val refresh_affected : t -> float array -> int -> float array -> int
+(** [refresh_affected t state ri a] re-evaluates into [a] exactly the
+    propensities affected by a firing of reaction [ri] (the
+    [c_affected.(ri)] row) and returns how many were evaluated. If [a]
+    held fresh propensities for the pre-firing state, it holds fresh
+    propensities for [state] afterwards — the sparse invariant the
+    direct-method hot loop relies on. *)

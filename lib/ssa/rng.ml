@@ -52,11 +52,18 @@ let float_pos t = 1.0 -. float t
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
-  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  (* Rejection sampling to avoid modulo bias. [r] is uniform on
+     [0, 2^62 - 1] = [0, max_int]; [r - v] is the start of r's
+     [bound]-sized bucket, and the draw is accepted iff the whole bucket
+     [r - v, r - v + bound) fits below 2^62 — i.e. unless
+     r - v > max_int - bound + 1 — so every accepted bucket is complete
+     and each residue is equally likely. The rejected tail is at most
+     [bound - 1] values out of 2^62, so for any bound the acceptance
+     probability exceeds 1/2 and the loop terminates quickly. *)
   let rec draw () =
     let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
     let v = r mod bound in
-    if r - v > (max_int lsr 2) - bound + 1 then draw () else v
+    if r - v > max_int - bound + 1 then draw () else v
   in
   draw ()
 

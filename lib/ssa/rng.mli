@@ -41,7 +41,8 @@ val float_pos : t -> float
 (** Uniform in [(0, 1]] — safe as an argument to [log]. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)].
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, via
+    rejection sampling, for every bound up to [max_int].
     @raise Invalid_argument if [bound <= 0]. *)
 
 val exponential : t -> rate:float -> float

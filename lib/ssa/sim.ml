@@ -2,6 +2,7 @@ module Model = Glc_model.Model
 
 type algorithm =
   | Direct
+  | Direct_full_recompute
   | Next_reaction
   | Tau_leaping of { epsilon : float }
 
@@ -54,6 +55,11 @@ let fire (c : Compiled.t) state mu =
 
 let sum = Array.fold_left ( +. ) 0.
 
+let array_mem x a =
+  let n = Array.length a in
+  let rec go i = i < n && (a.(i) = x || go (i + 1)) in
+  go 0
+
 (* Selects a reaction index from propensities [a] given a uniform draw
    scaled by their sum. Floating-point rounding can leave the running
    cumulative sum short of [target] even though [target < sum a]; the
@@ -82,7 +88,18 @@ type tot = {
   mutable n_obs : int; (* recorder observations *)
 }
 
-let run_direct rng (c : Compiled.t) cfg events recorder tot =
+(* The direct method in two propensity regimes sharing one loop. Sparse
+   (the default): the cached array [a] is kept authoritative — after a
+   firing only the reactions reachable from the fired reaction's deltas
+   via the compile-time dependency closure are re-evaluated, and [a0] is
+   recomputed by summing the cache. Because the cached entries equal
+   fresh evaluations and the sum runs in the same index order, the RNG
+   draw sequence — and therefore the trajectory — is byte-identical to
+   the full-recompute reference, while propensity evaluations drop from
+   O(R) to O(deps) per firing. Full recompute (the reference, kept for
+   equivalence tests and the bench harness) re-evaluates every
+   propensity at the top of every step. *)
+let run_direct ~sparse rng (c : Compiled.t) cfg events recorder tot =
   let state = Array.copy c.c_initial in
   let fired = ref 0 and applied = ref 0 in
   let n_r = Array.length c.c_reactions in
@@ -91,10 +108,13 @@ let run_direct rng (c : Compiled.t) cfg events recorder tot =
     tot.n_obs <- tot.n_obs + 1;
     Trace.Recorder.observe recorder t state
   in
+  let refresh_all () =
+    Compiled.propensities_into c state a;
+    tot.n_evals <- tot.n_evals + n_r
+  in
   let rec loop t events =
     if t < cfg.t_end then begin
-      Compiled.propensities_into c state a;
-      tot.n_evals <- tot.n_evals + n_r;
+      if not sparse then refresh_all ();
       let a0 = sum a in
       let t_ev = Events.next_time events in
       if a0 <= 0. then begin
@@ -104,6 +124,8 @@ let run_direct rng (c : Compiled.t) cfg events recorder tot =
           | Some (te, n, rest) ->
               applied := !applied + n;
               observe te;
+              (* Events clamp arbitrary species: the cache is stale. *)
+              if sparse then refresh_all ();
               loop te rest
           | None -> ()
         end
@@ -116,6 +138,7 @@ let run_direct rng (c : Compiled.t) cfg events recorder tot =
           | Some (te, n, rest) ->
               applied := !applied + n;
               observe te;
+              if sparse then refresh_all ();
               loop te rest
           | None -> assert false (* t_ev finite implies an event exists *)
         end
@@ -123,6 +146,9 @@ let run_direct rng (c : Compiled.t) cfg events recorder tot =
           let mu = select a (Rng.float rng *. a0) in
           fire c state mu;
           incr fired;
+          if sparse then
+            tot.n_evals <-
+              tot.n_evals + Compiled.refresh_affected c state mu a;
           observe t';
           loop t' events
         end
@@ -144,6 +170,7 @@ let run_direct rng (c : Compiled.t) cfg events recorder tot =
   (* Observe only after catch-up so events at t0 are part of the
      recorded initial state, exactly as in the other two algorithms. *)
   observe cfg.t0;
+  if sparse then refresh_all ();
   loop cfg.t0 events;
   (state, !fired, !applied)
 
@@ -203,15 +230,20 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder tot =
       (* The fired reaction always draws a fresh clock, even when its
          propensity does not depend on anything it changed (a pure birth
          reaction, say) — otherwise its old firing time would stay at the
-         heap minimum and time would stop advancing. *)
+         heap minimum and time would stop advancing. When [mu] is not in
+         its own dependency closure its propensity is unchanged, so the
+         cached value serves the redraw without an evaluation; the draw
+         happens first to keep the RNG sequence identical to the
+         re-evaluate-[mu]-first ordering this loop always had. *)
       let affected = Compiled.affected_reactions c mu in
-      let affected =
-        if List.mem mu affected then affected else mu :: affected
-      in
-      let n_aff = List.length affected in
+      let n_aff = Array.length affected in
       tot.n_evals <- tot.n_evals + n_aff;
       tot.n_heap <- tot.n_heap + n_aff;
-      List.iter
+      if not (array_mem mu affected) then begin
+        tot.n_heap <- tot.n_heap + 1;
+        Indexed_heap.update heap mu (draw_time t_mu a.(mu))
+      end;
+      Array.iter
         (fun j ->
           let aj_old = a.(j) in
           let aj_new =
@@ -292,10 +324,17 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder tot =
   let events = catch_up events in
   observe cfg.t0;
   let a = Array.make n_reactions 0. in
+  let refresh_all () =
+    Compiled.propensities_into c state a;
+    tot.n_evals <- tot.n_evals + n_reactions
+  in
+  (* The cache [a] is kept authoritative across iterations, so only the
+     exact-fallback branch can update it sparsely: a leap fires many
+     reactions at once (and clamps negatives), and events clamp
+     arbitrary species, so both are followed by a full refresh. *)
+  refresh_all ();
   let rec loop t events =
     if t < cfg.t_end then begin
-      Compiled.propensities_into c state a;
-      tot.n_evals <- tot.n_evals + n_reactions;
       let a0 = sum a in
       let t_ev = Events.next_time events in
       if a0 <= 0. then begin
@@ -304,6 +343,7 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder tot =
           | Some (te, m, rest) ->
               applied := !applied + m;
               observe te;
+              refresh_all ();
               loop te rest
           | None -> ()
         end
@@ -311,7 +351,7 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder tot =
       else begin
         let tau_sel = choose_tau a in
         if tau_sel < 10. /. a0 then begin
-          (* exact fallback: one direct-method step *)
+          (* exact fallback: one direct-method step, updated sparsely *)
           let tau = Rng.exponential rng ~rate:a0 in
           let t' = t +. tau in
           if t' >= t_ev && t_ev <= cfg.t_end then begin
@@ -319,6 +359,7 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder tot =
             | Some (te, m, rest) ->
                 applied := !applied + m;
                 observe te;
+                refresh_all ();
                 loop te rest
             | None -> assert false
           end
@@ -326,6 +367,8 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder tot =
             let mu_r = select a (Rng.float rng *. a0) in
             fire c state mu_r;
             incr fired;
+            tot.n_evals <-
+              tot.n_evals + Compiled.refresh_affected c state mu_r a;
             observe t';
             loop t' events
           end
@@ -352,11 +395,13 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder tot =
             | Some (te, m, rest) ->
                 applied := !applied + m;
                 observe te;
+                refresh_all ();
                 loop te rest
             | None -> assert false
           end
           else begin
             observe t';
+            refresh_all ();
             loop t' events
           end
         end
@@ -370,6 +415,7 @@ module Metrics = Glc_obs.Metrics
 
 let algorithm_label = function
   | Direct -> "direct"
+  | Direct_full_recompute -> "direct_full"
   | Next_reaction -> "next_reaction"
   | Tau_leaping _ -> "tau_leaping"
 
@@ -398,7 +444,9 @@ let run_compiled_rng ?(events = Events.empty) ?(metrics = Metrics.noop) ~rng
   let tot = { n_evals = 0; n_heap = 0; n_obs = 0 } in
   let state, fired, applied =
     match cfg.algorithm with
-    | Direct -> run_direct rng c cfg events recorder tot
+    | Direct -> run_direct ~sparse:true rng c cfg events recorder tot
+    | Direct_full_recompute ->
+        run_direct ~sparse:false rng c cfg events recorder tot
     | Next_reaction -> run_next_reaction rng c cfg events recorder tot
     | Tau_leaping { epsilon } ->
         run_tau_leap rng c cfg ~epsilon events recorder tot

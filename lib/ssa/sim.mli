@@ -13,6 +13,15 @@ module Model := Glc_model.Model
 
 type algorithm =
   | Direct
+      (** Gillespie's direct method with sparse propensity updates:
+          after each firing only the reactions in the fired reaction's
+          compile-time dependency closure are re-evaluated. Trajectories
+          are byte-identical to {!Direct_full_recompute} for the same
+          seed. *)
+  | Direct_full_recompute
+      (** The direct method re-evaluating every propensity at every
+          step. Kept as the reference implementation for equivalence
+          tests and the [bench ssa] harness; prefer {!Direct}. *)
   | Next_reaction
   | Tau_leaping of { epsilon : float }
       (** error-control parameter of the step selection, typically
@@ -51,7 +60,8 @@ val run :
     [ssa.events_applied], [ssa.propensity_evals], [ssa.heap_updates],
     [ssa.recorder_observes], [ssa.trace_samples] (all deterministic for
     a fixed seed) and the wall-time histogram [ssa.run_seconds.<algo>],
-    where [<algo>] is [direct], [next_reaction] or [tau_leaping]. The
+    where [<algo>] is [direct], [direct_full], [next_reaction] or
+    [tau_leaping]. The
     inner loops accumulate in plain local fields, so instrumentation
     adds no atomic traffic to the hot path. *)
 

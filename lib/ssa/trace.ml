@@ -49,13 +49,21 @@ let concat a b =
     invalid_arg "Trace.concat: different species";
   if Float.abs (a.dt -. b.dt) > 1e-9 *. a.dt then
     invalid_arg "Trace.concat: different sampling steps";
-  let expected_start = time a (length a - 1) +. a.dt in
-  if Float.abs (b.t0 -. expected_start) > 1e-6 *. a.dt then
-    invalid_arg "Trace.concat: traces are not contiguous";
-  {
-    a with
-    data = Array.map2 (fun ca cb -> Array.append ca cb) a.data b.data;
-  }
+  (* An empty operand is the identity: it has no last sample, so the
+     contiguity test below would otherwise compare against the
+     meaningless time [t0 - dt] and spuriously reject (or, worse,
+     accept only when b.t0 happens to equal a.t0). *)
+  if length a = 0 then b
+  else if length b = 0 then a
+  else begin
+    let expected_start = time a (length a - 1) +. a.dt in
+    if Float.abs (b.t0 -. expected_start) > 1e-6 *. a.dt then
+      invalid_arg "Trace.concat: traces are not contiguous";
+    {
+      a with
+      data = Array.map2 (fun ca cb -> Array.append ca cb) a.data b.data;
+    }
+  end
 
 let mean tr id =
   let col = tr.data.(index_exn tr id) in

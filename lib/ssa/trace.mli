@@ -40,7 +40,9 @@ val sub : t -> from:int -> until:int -> t
 val concat : t -> t -> t
 (** [concat a b] glues two contiguous recordings: same species, same
     [dt], and [b] starting exactly one step after [a] ends (within one
-    part in 10^6 of [dt]).
+    part in 10^6 of [dt]). An empty operand is the identity — the
+    other trace is returned unchanged, wherever the empty trace's
+    nominal [t0] lies.
     @raise Invalid_argument otherwise. *)
 
 val mean : t -> string -> float

@@ -134,6 +134,53 @@ let prop_rng_split_no_collisions =
       drain `Parent parent;
       !clean)
 
+(* The bounded-int rejection sampler, pinned by properties. The old
+   acceptance condition compared against [max_int lsr 2] although the
+   draw already keeps only 62 bits (= [max_int] exactly), so it rejected
+   3 of every 4 draws at small bounds and looped forever for bounds
+   above 2^60. *)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"int stays in [0, bound) and terminates, any bound"
+    ~count:100
+    QCheck.(
+      pair small_int
+        (oneofl
+           [
+             1; 2; 7; 1000; 1 lsl 20; 1 lsl 40; (1 lsl 60) + 9; 1 lsl 61;
+             max_int - 1; max_int;
+           ]))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let prop_rng_int_uniform =
+  QCheck.Test.make ~name:"int is uniform (chi-square)" ~count:20
+    QCheck.(pair small_int (int_range 2 12))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let n = 10_000 in
+      let counts = Array.make bound 0 in
+      for _ = 1 to n do
+        let v = Rng.int r bound in
+        counts.(v) <- counts.(v) + 1
+      done;
+      let expected = float_of_int n /. float_of_int bound in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. (d *. d /. expected))
+          0. counts
+      in
+      (* df <= 11: P(chi2 > 50) < 1e-6, stable across QCheck seeds *)
+      chi2 < 50.)
+
 let test_rng_gaussian () =
   let r = Rng.create 21 in
   let n = 50_000 in
@@ -337,6 +384,23 @@ let test_trace_concat_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected species mismatch failure"
 
+let test_trace_concat_empty () =
+  (* Regression: with an empty operand the contiguity check used to
+     compare against the meaningless time [t0 - dt] of a non-existent
+     last sample, rejecting valid concatenations (or accepting them only
+     when the empty trace's nominal t0 happened to line up). An empty
+     operand is the identity. *)
+  let tr = make_trace () in
+  let empty = Trace.sub tr ~from:4 ~until:4 in
+  checki "empty sub" 0 (Trace.length empty);
+  Alcotest.(check string)
+    "empty left operand" (Trace.to_csv tr)
+    (Trace.to_csv (Trace.concat empty tr));
+  Alcotest.(check string)
+    "empty right operand" (Trace.to_csv tr)
+    (Trace.to_csv (Trace.concat tr empty));
+  checki "both operands empty" 0 (Trace.length (Trace.concat empty empty))
+
 (* ---- events ---- *)
 
 let prop_events_merge_sorted =
@@ -400,10 +464,35 @@ let test_compile () =
   Alcotest.(check (list int))
     "death reads X" [ 0 ]
     c.Compiled.c_reactions.(1).Compiled.c_reads;
-  Alcotest.(check (list int))
-    "birth affects death" [ 1 ]
+  Alcotest.(check (array int))
+    "birth affects death" [| 1 |]
     (Compiled.affected_reactions c 0);
+  Alcotest.(check (array int))
+    "death affects itself" [| 1 |]
+    (Compiled.affected_reactions c 1);
   checki "species index" 0 (Compiled.species_index c "X")
+
+let boundary_conversion_model () =
+  (* A boundary input consumed by a reaction: the kinetics see it, but
+     firings must never drain it (SBML boundaryCondition). *)
+  Model.make ~id:"bnd"
+    ~species:[ Model.species ~boundary:true "I" 30.; Model.species "P" 0. ]
+    ~reactions:
+      [
+        Model.reaction
+          ~reactants:[ ("I", 1) ]
+          ~products:[ ("P", 1) ]
+          ~rate:Math.(num 0.5 * var "I")
+          "conv";
+      ]
+    ()
+
+let test_compile_boundary_deltas () =
+  let c = Compiled.compile (boundary_conversion_model ()) in
+  let p = Compiled.species_index c "P" in
+  Alcotest.(check (list (pair int (float 0.))))
+    "boundary reactant dropped from the state-change vector" [ (p, 1.) ]
+    c.Compiled.c_reactions.(0).Compiled.c_deltas
 
 let test_compile_negative_propensity_clamped () =
   let m =
@@ -500,6 +589,34 @@ let test_sim_boundary_untouched_by_reactions () =
     checkf 0. "clamped" 30. (Trace.value tr "I" k)
   done;
   checkb "P produced" true (final tr "P" > 0.)
+
+let test_sim_boundary_reactant_all_algorithms () =
+  (* Headline regression for the boundary-semantics fix: a boundary
+     input species consumed by a reaction stays at its set level under
+     every algorithm, while the product still accumulates (the kinetic
+     law reads the input). Before the fix this model was rejected
+     outright by Model.validate, and applying the stoichiometry would
+     have drained I — making the stochastic algorithms disagree with the
+     ODE limit, which always gave boundary species a zero derivative. *)
+  let m = boundary_conversion_model () in
+  List.iter
+    (fun (name, algorithm) ->
+      let cfg = Sim.config ~algorithm ~t_end:50. () in
+      let tr = Sim.run cfg m in
+      for k = 0 to Trace.length tr - 1 do
+        checkf 0. (name ^ ": input held at its set level") 30.
+          (Trace.value tr "I" k)
+      done;
+      checkb (name ^ ": product accumulates") true (final tr "P" > 0.))
+    [
+      ("direct", Sim.Direct);
+      ("direct-full", Sim.Direct_full_recompute);
+      ("next-reaction", Sim.Next_reaction);
+      ("tau-leap", Sim.Tau_leaping { epsilon = 0.03 });
+    ];
+  let tr = Glc_ssa.Ode.run (Glc_ssa.Ode.config ~t_end:50. ()) m in
+  checkf 1e-9 "ode: input held at its set level" 30. (final tr "I");
+  checkb "ode: product accumulates" true (final tr "P" > 1.)
 
 let test_sim_stats () =
   let m = birth_death ~k:5. ~gamma:0.05 in
@@ -725,6 +842,75 @@ let test_sim_event_at_t0_in_first_sample () =
       ("tau-leap", Sim.Tau_leaping { epsilon = 0.03 });
     ]
 
+(* ---- sparse vs full-recompute equivalence ---- *)
+
+(* The sparse direct method's invariant: cached propensities equal fresh
+   evaluations and the total propensity is summed in the same index
+   order, so the RNG draw sequence — and hence the whole trajectory —
+   matches the full-recompute reference byte for byte. *)
+
+let random_mass_action_model seed =
+  let st = Random.State.make [| seed |] in
+  let n_s = 1 + Random.State.int st 4 in
+  let name i = Printf.sprintf "S%d" i in
+  let species =
+    List.init n_s (fun i ->
+        Model.species
+          ~boundary:(i = 0 && Random.State.bool st)
+          (name i)
+          (float_of_int (Random.State.int st 40)))
+  in
+  let n_r = 1 + Random.State.int st 5 in
+  let reactions =
+    List.init n_r (fun j ->
+        let pick () = name (Random.State.int st n_s) in
+        let reactants =
+          if Random.State.int st 4 = 0 then [] else [ (pick (), 1) ]
+        in
+        let products = [ (pick (), 1) ] in
+        let k = 0.1 +. (float_of_int (Random.State.int st 20) /. 10.) in
+        let rate =
+          List.fold_left
+            (fun acc (id, _) -> Math.(acc * var id))
+            (Math.num k) reactants
+        in
+        Model.reaction ~reactants ~products ~rate (Printf.sprintf "r%d" j))
+  in
+  Model.make ~id:(Printf.sprintf "rand%d" seed) ~species ~reactions ()
+
+let prop_sparse_direct_equivalence =
+  QCheck.Test.make
+    ~name:"sparse direct is byte-identical to the full-recompute reference"
+    ~count:80 QCheck.small_int (fun seed ->
+      let m = random_mass_action_model seed in
+      let run algorithm =
+        Trace.to_csv
+          (Sim.run (Sim.config ~seed:(seed + 1) ~algorithm ~t_end:30. ()) m)
+      in
+      String.equal (run Sim.Direct) (run Sim.Direct_full_recompute))
+
+let test_sparse_equivalence_circuits () =
+  (* Same check on the paper's Table-1 circuits under the virtual lab's
+     input stimulus, shortened to keep the suite fast. *)
+  let protocol =
+    Glc_dvasim.Protocol.make ~total_time:400. ~hold_time:100. ()
+  in
+  List.iter
+    (fun circuit ->
+      let events = Glc_dvasim.Experiment.input_schedule protocol circuit in
+      let model = Glc_gates.Circuit.model circuit in
+      let run algorithm =
+        Trace.to_csv
+          (Sim.run ~events
+             (Sim.config ~seed:42 ~algorithm ~t_end:400. ())
+             model)
+      in
+      Alcotest.(check string)
+        (circuit.Glc_gates.Circuit.name ^ ": byte-identical trace")
+        (run Sim.Direct_full_recompute)
+        (run Sim.Direct))
+    (Glc_gates.Benchmarks.all ())
+
 (* ---- recorder grid property ---- *)
 
 let prop_recorder_grid =
@@ -783,8 +969,13 @@ let () =
           Alcotest.test_case "gaussian" `Quick test_rng_gaussian;
           Alcotest.test_case "poisson" `Quick test_rng_poisson;
         ]
-        @ qc [ prop_rng_split_deterministic; prop_rng_split_no_collisions ]
-      );
+        @ qc
+            [
+              prop_rng_split_deterministic;
+              prop_rng_split_no_collisions;
+              prop_rng_int_range;
+              prop_rng_int_uniform;
+            ] );
       ( "indexed_heap",
         Alcotest.test_case "basic" `Quick test_heap_basic
         :: qc [ prop_heap_random_ops ] );
@@ -801,6 +992,8 @@ let () =
           Alcotest.test_case "csv errors" `Quick test_trace_csv_errors;
           Alcotest.test_case "concat validation" `Quick
             test_trace_concat_validation;
+          Alcotest.test_case "concat empty operands" `Quick
+            test_trace_concat_empty;
         ]
         @ qc [ prop_trace_split_concat; prop_recorder_grid ] );
       ( "events",
@@ -809,6 +1002,8 @@ let () =
       ( "compiled",
         [
           Alcotest.test_case "compile" `Quick test_compile;
+          Alcotest.test_case "boundary deltas dropped" `Quick
+            test_compile_boundary_deltas;
           Alcotest.test_case "negative propensity clamped" `Quick
             test_compile_negative_propensity_clamped;
         ] );
@@ -825,6 +1020,10 @@ let () =
             test_sim_event_on_unknown_species;
           Alcotest.test_case "boundary clamped" `Quick
             test_sim_boundary_untouched_by_reactions;
+          Alcotest.test_case "boundary reactant, all algorithms" `Quick
+            test_sim_boundary_reactant_all_algorithms;
+          Alcotest.test_case "sparse equivalence on Table-1 circuits"
+            `Slow test_sparse_equivalence_circuits;
           Alcotest.test_case "stats" `Quick test_sim_stats;
           Alcotest.test_case "zero propensity stall" `Quick
             test_sim_zero_propensity;
@@ -842,7 +1041,9 @@ let () =
           Alcotest.test_case "event at t0 in first sample" `Quick
             test_sim_event_at_t0_in_first_sample;
         ]
-        @ qc [ prop_select_positive_propensity ] );
+        @ qc
+            [ prop_select_positive_propensity; prop_sparse_direct_equivalence ]
+      );
       ( "population",
         [
           Alcotest.test_case "mean of cells" `Slow test_population_mean;

@@ -3,7 +3,11 @@
    {"deterministic":{"counters":{...},"gauges":{...}},
     "timings":{"histograms":{...},"spans":{...}}} —
    plus, for an ensemble run, the SSA and engine counters the rest of
-   the tooling keys on. Exits nonzero with a message on any mismatch. *)
+   the tooling keys on. Repeatable --max COUNTER=CEILING arguments
+   additionally assert a counter's value never exceeds the ceiling —
+   the tripwire CI uses to catch regressions of the sparse propensity
+   engine (ssa.propensity_evals is deterministic for a fixed seed).
+   Exits nonzero with a message on any mismatch. *)
 
 module Json = Glc_core.Report.Json
 
@@ -21,13 +25,31 @@ let member v key =
   | Some x -> x
   | None -> fail "missing key %S" key
 
+let usage () =
+  prerr_endline "usage: check_metrics FILE.json [--max COUNTER=CEILING]...";
+  exit 2
+
+let parse_max spec =
+  match String.index_opt spec '=' with
+  | None -> usage ()
+  | Some i -> (
+      let key = String.sub spec 0 i in
+      let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt v with
+      | Some ceiling when key <> "" -> (key, ceiling)
+      | Some _ | None -> usage ())
+
 let () =
-  let path =
-    match Sys.argv with
-    | [| _; path |] -> path
-    | _ ->
-        prerr_endline "usage: check_metrics FILE.json";
-        exit 2
+  let path, maxes =
+    let rec parse path maxes = function
+      | [] -> (path, List.rev maxes)
+      | "--max" :: spec :: rest -> parse path (parse_max spec :: maxes) rest
+      | p :: rest when path = None -> parse (Some p) maxes rest
+      | _ -> usage ()
+    in
+    match parse None [] (List.tl (Array.to_list Sys.argv)) with
+    | Some path, maxes -> (path, maxes)
+    | None, _ -> usage ()
   in
   let text = try read_file path with Sys_error m -> fail "%s" m in
   let doc =
@@ -58,4 +80,12 @@ let () =
       "engine.replicates_ok";
       "pool.tasks";
     ];
+  List.iter
+    (fun (key, ceiling) ->
+      match Json.to_int (member counters key) with
+      | None -> fail "counter %S is not an integer" key
+      | Some n when n > ceiling ->
+          fail "counter %S is %d, above the ceiling %d" key n ceiling
+      | Some n -> Printf.printf "check_metrics: %s = %d <= %d\n" key n ceiling)
+    maxes;
   Printf.printf "check_metrics: %s OK\n" path
