@@ -7,12 +7,14 @@
    batch-verification campaigns.
 
    Exit codes: 0 success; 1 a verification verdict was negative (verify,
-   ensemble, campaign report); 3 a campaign is incomplete; 123 any
-   error reported on stderr (a runtime failure such as an unknown
-   circuit, or a command-line mistake — cmdliner's eval' maps both to
-   the same code); 125 an unexpected internal error. Codes 1 and 3 are
-   deliberate and documented per command so scripts and CI can branch
-   on the result. *)
+   ensemble, campaign report) or lint found warnings; 2 lint found
+   errors (the `lint` command, and the pre-flight guard on
+   verify/ensemble/campaign run unless --no-lint); 3 a campaign is
+   incomplete; 123 any error reported on stderr (a runtime failure such
+   as an unknown circuit, or a command-line mistake — cmdliner's eval'
+   maps both to the same code); 125 an unexpected internal error. Codes
+   1, 2 and 3 are deliberate and documented per command so scripts and
+   CI can branch on the result. *)
 
 open Cmdliner
 
@@ -20,19 +22,31 @@ open Cmdliner
    scripts branch on "ran fine, circuit is wrong" without parsing
    output. *)
 let exit_not_verified = 1
+let exit_lint_error = 2
 let exit_incomplete = 3
+
+let lint_guard_exit =
+  Cmd.Exit.info exit_lint_error
+    ~doc:"the pre-flight lint found errors (see $(b,glcv lint)); no \
+          simulation was run. Bypass with $(b,--no-lint)."
 
 let verdict_exits =
   Cmd.Exit.info exit_not_verified
     ~doc:"the circuit (or at least one campaign job) did $(b,not) verify \
           against its intended logic — the run itself succeeded."
-  :: Cmd.Exit.defaults
+  :: lint_guard_exit :: Cmd.Exit.defaults
 
 let campaign_exits =
   Cmd.Exit.info exit_incomplete
     ~doc:"the campaign is incomplete: jobs are still pending (a \
           $(b,--limit) cut-off) or failed to run."
   :: verdict_exits
+
+let lint_exits =
+  Cmd.Exit.info 0 ~doc:"no diagnostics beyond informational notes."
+  :: Cmd.Exit.info 1 ~doc:"lint found warnings but no errors."
+  :: Cmd.Exit.info 2 ~doc:"lint found errors."
+  :: Cmd.Exit.defaults
 
 module Circuit = Glc_gates.Circuit
 module Benchmarks = Glc_gates.Benchmarks
@@ -42,6 +56,8 @@ module Experiment = Glc_dvasim.Experiment
 module Analyzer = Glc_core.Analyzer
 module Verify = Glc_core.Verify
 module Report = Glc_core.Report
+module Lint = Glc_lint.Lint
+module Diagnostic = Glc_lint.Diagnostic
 
 let find_circuit name =
   match Benchmarks.find name with
@@ -162,6 +178,97 @@ let with_metrics path f =
       close_out oc;
       Printf.eprintf "metrics written to %s\n%!" file;
       r
+
+(* ---- lint guard ---- *)
+
+let no_lint_opt =
+  Arg.value
+    (Arg.flag
+       (Arg.info [ "no-lint" ]
+          ~doc:"Skip the pre-flight lint pass (see $(b,glcv lint)). \
+                Without it, lint errors abort the run with exit code 2 \
+                before any simulation is spent."))
+
+(* Pre-flight static analysis before a simulation-heavy command: lint
+   every circuit involved, print diagnostics on stderr (stdout may
+   carry the machine-read report), abort with [Error exit 2] on lint
+   errors. Warnings and infos are printed but do not block. *)
+let lint_guard ~no_lint ~protocol circuits =
+  if no_lint then Ok ()
+  else begin
+    let ds = List.concat_map (Lint.circuit ~protocol) circuits in
+    List.iter
+      (fun d -> Format.eprintf "lint: %a@." Diagnostic.pp d)
+      ds;
+    if Diagnostic.exit_code ds >= 2 then begin
+      Format.eprintf
+        "lint found %d error(s); fix the model or bypass with --no-lint@."
+        (Diagnostic.errors ds);
+      Error exit_lint_error
+    end
+    else Ok ()
+  end
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let run threshold json metrics_file files =
+    with_metrics metrics_file (fun metrics ->
+        let report = Lint.files ~threshold ~metrics files in
+        if json then print_endline (Lint.report_json report)
+        else begin
+          List.iter
+            (fun fr ->
+              List.iter
+                (fun d ->
+                  Format.printf "%s: %a@." fr.Lint.fr_path Diagnostic.pp d)
+                fr.Lint.fr_diagnostics)
+            report;
+          let all =
+            List.concat_map (fun fr -> fr.Lint.fr_diagnostics) report
+          in
+          Format.printf "%d model(s) linted: %d error(s), %d warning(s)@."
+            (List.length report) (Diagnostic.errors all)
+            (Diagnostic.warnings all)
+        end;
+        Ok (Lint.report_exit_code report))
+  in
+  let files_arg =
+    Arg.non_empty
+      (Arg.pos_all Arg.string []
+         (Arg.info [] ~docv:"MODEL"
+            ~doc:"Model files to lint. $(b,NAME.sbml.xml) and \
+                  $(b,NAME.sbol.xml) siblings are paired into one lint \
+                  group so the cross-document checks (GLC010) run and \
+                  the SBOL reporter becomes the output species for \
+                  GLC002/GLC005; other files are sniffed (SBML first, \
+                  then SBOL)."))
+  in
+  let threshold_opt =
+    Arg.value
+      (Arg.opt Arg.float Protocol.default.Protocol.threshold
+         (Arg.info [ "threshold" ] ~docv:"T"
+            ~doc:"Logic threshold (molecules) used by the \
+                  conservation-bound check GLC005."))
+  in
+  let json_opt =
+    Arg.value
+      (Arg.flag
+         (Arg.info [ "json" ]
+            ~doc:"Emit the machine-readable JSON report on stdout \
+                  instead of the text diagnostics."))
+  in
+  Cmd.v
+    (Cmd.info "lint" ~exits:lint_exits
+       ~doc:"Statically analyse genetic circuit model files without \
+             simulating: unproducible species, unreachable and inert \
+             reactions, conservation laws that pin the output below \
+             the logic threshold, kinetic-law and cross-document \
+             sanity. Each finding carries a stable $(b,GLC)-prefixed \
+             code; see the library documentation for the catalogue.")
+    Term.(
+      term_result
+        (const run $ threshold_opt $ json_opt $ metrics_opt $ files_arg))
 
 (* ---- list ---- *)
 
@@ -376,8 +483,11 @@ let verify_one protocol fov c =
   (r, v)
 
 let verify_cmd =
-  let run protocol fov all circuit =
+  let run protocol fov all no_lint circuit =
     if all then begin
+      match lint_guard ~no_lint ~protocol (Benchmarks.all ()) with
+      | Error code -> Ok code
+      | Ok () ->
       let failures = ref 0 in
       List.iter
         (fun c ->
@@ -399,7 +509,10 @@ let verify_cmd =
       match circuit with
       | None -> Error (`Msg "give a circuit name or --all")
       | Some (Error e) -> Error e
-      | Some (Ok c) ->
+      | Some (Ok c) -> (
+          match lint_guard ~no_lint ~protocol [ c ] with
+          | Error code -> Ok code
+          | Ok () ->
           let r, v = verify_one protocol fov c in
           Format.printf "%a@.%a@."
             (Report.pp_result ~output_name:c.Circuit.output)
@@ -411,7 +524,7 @@ let verify_cmd =
                  (Verify.pp_finding ~arity:r.Analyzer.arity))
               (Verify.diagnose r v);
             Ok exit_not_verified
-          end
+          end)
   in
   let all_opt =
     Arg.value
@@ -432,18 +545,23 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~exits:verdict_exits
        ~doc:"Verify extracted logic against the intended truth table. \
-             Exits 0 when the circuit verifies and 1 when it does not \
-             (with a per-state diagnosis), so scripts and CI can branch \
-             on the verdict.")
+             Runs the pre-flight lint first (exit 2 on lint errors; \
+             $(b,--no-lint) skips it). Exits 0 when the circuit \
+             verifies and 1 when it does not (with a per-state \
+             diagnosis), so scripts and CI can branch on the verdict.")
     Term.(
       term_result
-        (const run $ protocol_term $ fov_opt $ all_opt $ circuit_opt))
+        (const run $ protocol_term $ fov_opt $ all_opt $ no_lint_opt
+        $ circuit_opt))
 
 (* ---- ensemble ---- *)
 
 let ensemble_cmd =
   let module Ensemble = Glc_engine.Ensemble in
-  let run protocol fov replicates jobs json metrics_file circuit =
+  let run protocol fov replicates jobs json no_lint metrics_file circuit =
+    match lint_guard ~no_lint ~protocol [ circuit ] with
+    | Error code -> Ok code
+    | Ok () -> (
     match
       Ensemble.config ~replicates ~jobs ~seed:protocol.Protocol.seed
         ~protocol ~fov_ud:fov ()
@@ -467,7 +585,7 @@ let ensemble_cmd =
           Error (`Msg "all replicates failed")
         else if not t.Ensemble.consensus_verified then
           Ok exit_not_verified
-        else Ok 0
+        else Ok 0)
   in
   let replicates_opt =
     Arg.value
@@ -495,12 +613,14 @@ let ensemble_cmd =
              statistically qualified verification verdict (mean/CI of \
              PFoBE, majority-vote consensus logic, flaky combinations). \
              Deterministic: --seed fixes the result for any --jobs. \
-             Exits 0 when the consensus logic matches the intent and 1 \
-             when it does not; execution failures exit 123.")
+             Runs the pre-flight lint first (exit 2 on lint errors; \
+             $(b,--no-lint) skips it). Exits 0 when the consensus logic \
+             matches the intent and 1 when it does not; execution \
+             failures exit 123.")
     Term.(
       term_result
         (const run $ protocol_term $ fov_opt $ replicates_opt $ jobs_opt
-        $ json_opt $ metrics_opt $ circuit_arg))
+        $ json_opt $ no_lint_opt $ metrics_opt $ circuit_arg))
 
 (* ---- threshold ---- *)
 
@@ -767,7 +887,7 @@ module Campaign = struct
 
   let run_cmd =
     let run dir circuits thresholds fovs input_highs replicates seed total
-        hold jobs limit metrics_file =
+        hold jobs limit no_lint metrics_file =
       match
         let grid =
           Grid.make ~thresholds ~fov_uds:fovs
@@ -781,9 +901,35 @@ module Campaign = struct
       with
       | exception Invalid_argument m -> Error (`Msg m)
       | spec -> (
+          (* pre-flight: lint every (circuit, threshold) cell of the
+             grid before anything is persisted or simulated *)
+          let guard =
+            if no_lint then Ok ()
+            else
+              let cs =
+                List.filter_map
+                  (fun name -> Result.to_option (find_circuit name))
+                  circuits
+              in
+              List.fold_left
+                (fun acc threshold ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok () -> (
+                      match
+                        Protocol.make ~total_time:total ~hold_time:hold
+                          ~seed ~threshold ()
+                      with
+                      | exception Invalid_argument _ -> Ok ()
+                      | protocol -> lint_guard ~no_lint ~protocol cs))
+                (Ok ()) thresholds
+          in
+          match guard with
+          | Error code -> Ok code
+          | Ok () -> (
           match Store.create ~dir (Grid.spec_to_json spec) with
           | Error m -> Error (`Msg m)
-          | Ok _store -> drain ~jobs ~limit ~metrics_file ~dir)
+          | Ok _store -> drain ~jobs ~limit ~metrics_file ~dir))
     in
     let circuits_opt =
       Arg.required
@@ -831,7 +977,7 @@ module Campaign = struct
         term_result
           (const run $ dir_opt $ circuits_opt $ thresholds_opt $ fovs_opt
           $ input_highs_opt $ replicates_opt $ seed_opt $ total_opt
-          $ hold_opt $ jobs_opt $ limit_opt $ metrics_opt))
+          $ hold_opt $ jobs_opt $ limit_opt $ no_lint_opt $ metrics_opt))
 
   let resume_cmd =
     let run dir jobs limit metrics_file =
@@ -929,9 +1075,9 @@ let main =
        ~doc:"Logic analysis and verification of n-input genetic logic \
              circuits (Baig & Madsen, DATE 2017).")
     [
-      list_cmd; synth_cmd; simulate_cmd; analyze_cmd; verify_cmd;
-      ensemble_cmd; threshold_cmd; delay_cmd; export_cmd; vcd_cmd;
-      probe_cmd; sweep_cmd; robustness_cmd; Campaign.group;
+      list_cmd; lint_cmd; synth_cmd; simulate_cmd; analyze_cmd;
+      verify_cmd; ensemble_cmd; threshold_cmd; delay_cmd; export_cmd;
+      vcd_cmd; probe_cmd; sweep_cmd; robustness_cmd; Campaign.group;
     ]
 
 (* term_err: all evaluation errors — runtime failures (unknown circuit,

@@ -50,6 +50,8 @@ let with_threshold p threshold =
 
 let slots p = int_of_float (Float.ceil (p.total_time /. p.hold_time))
 
+let covers_all_rows p ~arity = slots p >= 1 lsl arity
+
 let row_of_slot p ~arity slot =
   if slot < 0 then invalid_arg "Protocol.row_of_slot: negative slot";
   let s = slot mod (1 lsl arity) in

@@ -58,6 +58,13 @@ val slots : t -> int
 (** Number of hold slots in the run,
     [ceil (total_time / hold_time)]. *)
 
+val covers_all_rows : t -> arity:int -> bool
+(** Whether the run is long enough to apply every input combination of
+    an [arity]-input circuit at least once, i.e. [slots t >= 2^arity].
+    A protocol that fails this cannot exercise the full truth table, so
+    Algorithm 1 would report logic extracted from a partial sweep — the
+    linter flags it ([GLC011]) before any simulation is spent. *)
+
 val row_of_slot : t -> arity:int -> int -> int
 (** The input combination applied during a hold slot (wrapping around
     every [2^arity] slots, sequenced by [order]). *)

@@ -66,28 +66,44 @@ let duplicates ids =
       end)
     ids
 
-let validate m =
+type issue = {
+  i_subject :
+    [ `Model | `Species of string | `Parameter of string | `Reaction of string ];
+  i_message : string;
+}
+
+let validate_issues m =
   let errs = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let err subject fmt =
+    Printf.ksprintf
+      (fun s -> errs := { i_subject = subject; i_message = s } :: !errs)
+      fmt
+  in
   let species_ids = List.map (fun s -> s.s_id) m.m_species in
   let param_ids = List.map (fun p -> p.p_id) m.m_parameters in
-  List.iter (err "duplicate species id %S") (duplicates species_ids);
-  List.iter (err "duplicate parameter id %S") (duplicates param_ids);
   List.iter
-    (err "duplicate reaction id %S")
+    (fun id -> err (`Species id) "duplicate species id %S" id)
+    (duplicates species_ids);
+  List.iter
+    (fun id -> err (`Parameter id) "duplicate parameter id %S" id)
+    (duplicates param_ids);
+  List.iter
+    (fun id -> err (`Reaction id) "duplicate reaction id %S" id)
     (duplicates (List.map (fun r -> r.r_id) m.m_reactions));
   List.iter
-    (err "identifier %S is both a species and a parameter")
+    (fun id -> err (`Species id) "identifier %S is both a species and a parameter" id)
     (List.filter (fun id -> List.mem id param_ids) species_ids);
   List.iter
     (fun s ->
       if s.s_initial < 0. then
-        err "species %S has negative initial amount %g" s.s_id s.s_initial)
+        err (`Species s.s_id) "species %S has negative initial amount %g"
+          s.s_id s.s_initial)
     m.m_species;
   let is_species id = List.mem id species_ids in
   let is_known id = is_species id || List.mem id param_ids in
   List.iter
     (fun r ->
+      let err fmt = err (`Reaction r.r_id) fmt in
       let check_side side =
         (* Boundary species are legal reactants and products (SBML
            boundaryCondition): they shape the kinetics but simulation
@@ -115,6 +131,8 @@ let validate m =
         (Math.idents r.r_rate))
     m.m_reactions;
   List.rev !errs
+
+let validate m = List.map (fun i -> i.i_message) (validate_issues m)
 
 let make ~id ~species ?(parameters = []) ~reactions () =
   let m =

@@ -60,12 +60,28 @@ val make :
 (** Builds and validates a model.
     @raise Invalid_argument when {!validate} reports errors. *)
 
-val validate : t -> string list
+type issue = {
+  i_subject :
+    [ `Model | `Species of string | `Parameter of string | `Reaction of string ];
+      (** the offending entity, by id — not by position, so messages
+          remain meaningful after reordering and downstream tooling
+          (the linter) can attach a precise source location *)
+  i_message : string;  (** human-readable description, id included *)
+}
+(** One well-formedness problem found by {!validate_issues}. *)
+
+val validate_issues : t -> issue list
 (** Well-formedness diagnostics: duplicate identifiers, references to
     undeclared species/parameters (in stoichiometry lists or kinetic
     laws), non-positive stoichiometry, negative initial amounts. Empty
     means valid. Boundary species as reactants or products are legal
-    (SBML [boundaryCondition]); simulation holds their amounts fixed. *)
+    (SBML [boundaryCondition]); simulation holds their amounts fixed.
+    Every issue names the offending species/reaction/parameter id in
+    both its subject and its message. *)
+
+val validate : t -> string list
+(** The messages of {!validate_issues}, in the same order. Empty means
+    valid. *)
 
 val find_species : t -> string -> species option
 val find_parameter : t -> string -> parameter option

@@ -153,6 +153,11 @@ let propensities_into t state a =
     a.(i) <- Float.max 0. (t.c_reactions.(i).c_propensity state)
   done
 
+let inert_reactions t =
+  Array.to_list t.c_reactions
+  |> List.filter_map (fun r ->
+         if r.c_deltas = [] then Some r.c_id else None)
+
 let affected_reactions t ri = t.c_affected.(ri)
 
 let refresh_affected t state ri a =

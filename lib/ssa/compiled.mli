@@ -52,6 +52,12 @@ val propensities_into : t -> float array -> float array -> unit
     GCs (stop-the-world under domains) off the multicore hot path.
     @raise Invalid_argument if [a] is not one slot per reaction. *)
 
+val inert_reactions : t -> string list
+(** Ids of reactions whose firing changes no state — every reactant and
+    product is a boundary species, so the compiled delta list is empty.
+    Such reactions still consume SSA steps whenever their propensity is
+    positive; the linter flags them ([GLC004]). In declaration order. *)
+
 val affected_reactions : t -> int -> int array
 (** Reactions whose propensity may change when the given reaction fires
     (including itself if it reads a species it writes). Returns the

@@ -227,6 +227,62 @@ let test_model_validation () =
       Model.make ~id:"m" ~species:[ Model.species "P" (-1.) ] ~reactions:[]
         ())
 
+(* validate_issues: every finding carries the offending entity, and its
+   message repeats the id so the text stands alone *)
+let test_model_validate_issues () =
+  let m =
+    {
+      Model.m_id = "m";
+      m_species =
+        [ Model.species "P" 0.; Model.species "P" 1.; Model.species "N" (-2.) ];
+      m_parameters = [];
+      m_reactions =
+        [
+          Model.reaction ~reactants:[ ("X", 1) ] ~rate:(Math.num 1.) "r";
+        ];
+    }
+  in
+  let issues = Model.validate_issues m in
+  checkb "found issues" true (issues <> []);
+  let subject_of pred =
+    List.exists (fun (i : Model.issue) -> pred i.Model.i_subject) issues
+  in
+  checkb "duplicate names the species" true
+    (subject_of (function `Species "P" -> true | _ -> false));
+  checkb "negative initial names the species" true
+    (subject_of (function `Species "N" -> true | _ -> false));
+  checkb "unknown reactant names the reaction" true
+    (subject_of (function `Reaction "r" -> true | _ -> false));
+  List.iter
+    (fun (i : Model.issue) ->
+      let id =
+        match i.Model.i_subject with
+        | `Model -> None
+        | `Species id | `Parameter id | `Reaction id -> Some id
+      in
+      match id with
+      | None -> ()
+      | Some id ->
+          let quoted = Printf.sprintf "%S" id in
+          let mentions hay needle =
+            let n = String.length needle in
+            let rec go k =
+              k + n <= String.length hay
+              && (String.sub hay k n = needle || go (k + 1))
+            in
+            go 0
+          in
+          checkb
+            (Printf.sprintf "message %S embeds its id" i.Model.i_message)
+            true
+            (mentions i.Model.i_message quoted))
+    issues;
+  (* validate is exactly the messages, in order *)
+  Alcotest.(check (list string))
+    "validate = messages of validate_issues"
+    (List.map (fun (i : Model.issue) -> i.Model.i_message) issues)
+    (Model.validate m)
+
 let test_model_with_initial () =
   let m = Model.with_initial (valid_model ()) "P" 7. in
   checkf "changed" 7. (Option.get (Model.find_species m "P")).Model.s_initial;
@@ -442,6 +498,8 @@ let () =
         [
           Alcotest.test_case "valid model" `Quick test_model_valid;
           Alcotest.test_case "validation" `Quick test_model_validation;
+          Alcotest.test_case "validate_issues subjects" `Quick
+            test_model_validate_issues;
           Alcotest.test_case "with_initial" `Quick test_model_with_initial;
           Alcotest.test_case "map_rates" `Quick test_model_map_rates;
         ] );
