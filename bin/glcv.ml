@@ -25,16 +25,27 @@ let exit_not_verified = 1
 let exit_lint_error = 2
 let exit_incomplete = 3
 
+(* 128 + SIGINT: the conventional "terminated by ^C" code, returned by
+   ensemble/campaign runs that were interrupted but flushed cleanly. *)
+let exit_interrupted = 130
+
 let lint_guard_exit =
   Cmd.Exit.info exit_lint_error
     ~doc:"the pre-flight lint found errors (see $(b,glcv lint)); no \
           simulation was run. Bypass with $(b,--no-lint)."
 
+let interrupted_exit =
+  Cmd.Exit.info exit_interrupted
+    ~doc:"the run was interrupted by $(b,SIGINT)/$(b,SIGTERM) and shut \
+          down gracefully: completed work was persisted, the journal \
+          and metrics were flushed, and a final status line was \
+          printed. Resume-capable commands pick up where they left off."
+
 let verdict_exits =
   Cmd.Exit.info exit_not_verified
     ~doc:"the circuit (or at least one campaign job) did $(b,not) verify \
           against its intended logic — the run itself succeeded."
-  :: lint_guard_exit :: Cmd.Exit.defaults
+  :: lint_guard_exit :: interrupted_exit :: Cmd.Exit.defaults
 
 let campaign_exits =
   Cmd.Exit.info exit_incomplete
@@ -178,6 +189,24 @@ let with_metrics path f =
       close_out oc;
       Printf.eprintf "metrics written to %s\n%!" file;
       r
+
+(* ---- graceful interrupt (SIGINT/SIGTERM) ---- *)
+
+(* Long-running commands poll this flag between units of work (one
+   replicate, one campaign job) instead of dying mid-write: the handler
+   only flips an atomic, and the run winds down at the next boundary —
+   results persisted, journal and metrics flushed — then exits 130. *)
+let interrupted = Atomic.make false
+
+let interrupt_requested () = Atomic.get interrupted
+
+let install_interrupt_handlers () =
+  let flag _ = Atomic.set interrupted true in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle flag)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 (* ---- lint guard ---- *)
 
@@ -568,6 +597,7 @@ let ensemble_cmd =
     with
     | exception Invalid_argument m -> Error (`Msg m)
     | cfg ->
+        install_interrupt_handlers ();
         let progress =
           (* live counter on stderr only when a human is watching; the
              report on stdout stays byte-deterministic either way *)
@@ -577,11 +607,21 @@ let ensemble_cmd =
         in
         let t =
           with_metrics metrics_file (fun metrics ->
-              Ensemble.run ~progress ~metrics cfg circuit)
+              Ensemble.run ~progress ~metrics
+                ~should_stop:interrupt_requested cfg circuit)
         in
         if json then print_string (Ensemble.to_json t ^ "\n")
         else Format.printf "%a@." Ensemble.pp t;
-        if Array.length t.Ensemble.replicates = 0 then
+        if interrupt_requested () then begin
+          Format.eprintf
+            "interrupted: %d/%d replicate(s) completed, %d skipped; \
+             report and metrics flushed@."
+            (Array.length t.Ensemble.replicates)
+            replicates
+            (Array.length t.Ensemble.failures);
+          Ok exit_interrupted
+        end
+        else if Array.length t.Ensemble.replicates = 0 then
           Error (`Msg "all replicates failed")
         else if not t.Ensemble.consensus_verified then
           Ok exit_not_verified
@@ -877,13 +917,23 @@ module Campaign = struct
     else 0
 
   let drain ~jobs ~limit ~metrics_file ~dir =
+    install_interrupt_handlers ();
     with_metrics metrics_file (fun metrics ->
         match
-          Resume.run ~jobs ?limit ?on_progress:(progress ()) ~metrics ~dir
-            ()
+          Resume.run ~jobs ?limit ?on_progress:(progress ()) ~metrics
+            ~should_stop:interrupt_requested ~dir ()
         with
         | Error m -> Error (`Msg m)
-        | Ok (store, spec, summary) -> Ok (summarize store spec summary))
+        | Ok (store, spec, summary) ->
+            let code = summarize store spec summary in
+            if interrupt_requested () then begin
+              Format.printf
+                "campaign interrupted: store and journal flushed; finish \
+                 with `glcv campaign resume --dir %s`@."
+                dir;
+              Ok exit_interrupted
+            end
+            else Ok code)
 
   let run_cmd =
     let run dir circuits thresholds fovs input_highs replicates seed total
@@ -1069,6 +1119,297 @@ module Campaign = struct
       [ run_cmd; resume_cmd; status_cmd; report_cmd ]
 end
 
+(* ---- serve / submit / status / result / scrape ---- *)
+
+(* Verification-as-a-service (lib/serve): a daemon on a unix socket
+   with a shared engine pool, an admission-controlled priority queue,
+   and crash-safe persistence; plus the blocking client subcommands
+   the CI smoke test and scripts drive it with. *)
+
+module Serve = struct
+  module Server = Glc_serve.Server
+  module Client = Glc_serve.Client
+  module W = Glc_serve.Protocol_wire
+  module Json = Report.Json
+
+  let serve_exits =
+    Cmd.Exit.info exit_lint_error
+      ~doc:"the daemon rejected the submission: the pre-flight lint \
+            found errors (the GLC diagnostics are in the reply)."
+    :: Cmd.Exit.info exit_incomplete
+         ~doc:"the job is not done (result polled before completion), \
+               or the daemon's queue is full (429; retry after the \
+               hinted delay)."
+    :: Cmd.Exit.info exit_not_verified
+         ~doc:"the job ran and its consensus logic does $(b,not) match \
+               the intent."
+    :: Cmd.Exit.defaults
+
+  let socket_opt =
+    Arg.required
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "socket"; "s" ] ~docv:"PATH"
+            ~doc:"Unix socket the daemon listens on."))
+
+  let opt_float names docv doc =
+    Arg.value
+      (Arg.opt (Arg.some Arg.float) None (Arg.info names ~docv ~doc))
+
+  let opt_int names docv doc =
+    Arg.value
+      (Arg.opt (Arg.some Arg.int) None (Arg.info names ~docv ~doc))
+
+  let wait_opt =
+    Arg.value
+      (Arg.flag
+         (Arg.info [ "wait"; "w" ]
+            ~doc:"Block until the job finishes and print its result \
+                  document; the exit code then reflects the verdict."))
+
+  let timeout_opt =
+    Arg.value
+      (Arg.opt Arg.float 300.
+         (Arg.info [ "timeout" ] ~docv:"SECONDS"
+            ~doc:"Give up waiting after this long (the job keeps \
+                  running server-side)."))
+
+  (* The verdict is inside the stored document: ensemble.consensus_verified. *)
+  let verdict_of_document doc =
+    match Json.parse doc with
+    | Error _ -> None
+    | Ok v ->
+        Option.bind (Json.member v "ensemble") (fun e ->
+            Option.bind (Json.member e "consensus_verified") Json.to_bool)
+
+  let finish_result (resp : W.response) =
+    match resp.W.status with
+    | 200 -> (
+        print_endline resp.W.resp_body;
+        match verdict_of_document resp.W.resp_body with
+        | Some true -> Ok 0
+        | Some false -> Ok exit_not_verified
+        | None -> Error (`Msg "result document carries no verdict"))
+    | 409 ->
+        prerr_endline resp.W.resp_body;
+        Ok exit_incomplete
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "daemon answered %d: %s" resp.W.status
+               resp.W.resp_body))
+
+  let serve_cmd =
+    let run socket state jobs queue seed total hold no_lint metrics_file =
+      let metrics = Glc_obs.Metrics.create () in
+      let cfg =
+        Server.config ~socket_path:socket ~state_dir:state ~pool_jobs:jobs
+          ~queue_capacity:queue ~seed ~total_time:total ~hold_time:hold
+          ~lint_admission:(not no_lint) ~metrics ()
+      in
+      match Server.create cfg with
+      | Error m -> Error (`Msg m)
+      | Ok server ->
+          Server.install_signal_handlers server;
+          Printf.eprintf "glcv serve: listening on %s (state %s)\n%!"
+            socket state;
+          Server.run server;
+          Printf.eprintf "glcv serve: stopped; state persisted under %s\n%!"
+            state;
+          (match metrics_file with
+          | None -> ()
+          | Some file ->
+              let oc = open_out file in
+              output_string oc (Glc_obs.Metrics.to_json metrics);
+              output_char oc '\n';
+              close_out oc;
+              Printf.eprintf "metrics written to %s\n%!" file);
+          Ok 0
+    in
+    let state_opt =
+      Arg.required
+        (Arg.opt (Arg.some Arg.string) None
+           (Arg.info [ "state" ] ~docv:"DIR"
+              ~doc:"State directory: result store, journal, persisted \
+                    submissions, lock. A daemon killed with \
+                    $(b,SIGKILL) resumes its acknowledged jobs from \
+                    here on restart."))
+    in
+    let queue_opt =
+      Arg.value
+        (Arg.opt Arg.int 64
+           (Arg.info [ "queue" ] ~docv:"N"
+              ~doc:"Queue capacity; further submissions are rejected \
+                    with 429 and a retry-after hint."))
+    in
+    let jobs_opt =
+      Arg.value
+        (Arg.opt Arg.int 0
+           (Arg.info [ "jobs"; "j" ] ~docv:"J"
+              ~doc:"Worker domains of the shared engine pool; 0 sizes \
+                    it to the hardware."))
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Run the verification daemon: HTTP/1.1 + JSON over a unix \
+               socket ($(b,POST /v1/jobs), $(b,GET /v1/jobs/ID/result), \
+               $(b,GET /metrics), ...). Submissions are lint-checked at \
+               admission, deduplicated by content-derived job id, \
+               prioritised in a bounded queue, executed on a shared \
+               domain pool, and persisted so a killed daemon resumes \
+               on restart with byte-identical results. $(b,SIGINT)/\
+               $(b,SIGTERM) shut down gracefully.")
+      Term.(
+        term_result
+          (const run $ socket_opt $ state_opt $ jobs_opt $ queue_opt
+          $ seed_opt $ total_opt $ hold_opt $ no_lint_opt $ metrics_opt))
+
+  let submit_cmd =
+    let run socket circuit threshold fov input_high replicates priority
+        wait timeout =
+      let client = Client.connect ~socket in
+      match
+        Client.submit ?threshold ?fov_ud:fov ?input_high ?replicates
+          ?priority client ~circuit
+      with
+      | Error m -> Error (`Msg m)
+      | Ok resp -> (
+          match resp.W.status with
+          | 200 | 202 -> (
+              print_endline resp.W.resp_body;
+              if not wait then Ok 0
+              else
+                match Client.job_id_of_response resp with
+                | None -> Error (`Msg "daemon reply carried no job id")
+                | Some id -> (
+                    match
+                      Client.result ~wait:true ~timeout_s:timeout client
+                        ~id
+                    with
+                    | Error m -> Error (`Msg m)
+                    | Ok resp -> finish_result resp))
+          | 422 ->
+              (* lint rejection: the GLC diagnostics are the reply *)
+              prerr_endline resp.W.resp_body;
+              Ok exit_lint_error
+          | 429 ->
+              prerr_endline resp.W.resp_body;
+              Ok exit_incomplete
+          | _ ->
+              Error
+                (`Msg
+                  (Printf.sprintf "daemon answered %d: %s" resp.W.status
+                     resp.W.resp_body)))
+    in
+    let circuit_opt =
+      Arg.required
+        (Arg.pos 0 (Arg.some Arg.string) None
+           (Arg.info [] ~docv:"CIRCUIT"
+              ~doc:"Circuit name or 0xNN truth-table code; resolved by \
+                    the daemon."))
+    in
+    Cmd.v
+      (Cmd.info "submit" ~exits:serve_exits
+         ~doc:"Submit a verification job to a running daemon. Prints \
+               the acknowledgement (with the content-derived job id); \
+               with $(b,--wait), blocks for the result document and \
+               exits 0/1 on the verdict. Duplicate submissions are \
+               answered instantly with $(b,\"dedup\":true). Exits 2 \
+               when the daemon's lint rejects the model, 3 when the \
+               queue is full.")
+      Term.(
+        term_result
+          (const run $ socket_opt $ circuit_opt
+          $ opt_float [ "threshold"; "t" ] "MOLECULES" "Logic threshold."
+          $ opt_float [ "fov" ] "FRACTION" "FOV_UD (eq. 1)."
+          $ opt_float [ "input-high" ] "MOLECULES"
+              "Logic-1 input amount (default: the threshold)."
+          $ opt_int [ "replicates"; "n" ] "N" "SSA replicates."
+          $ opt_int [ "priority" ] "P"
+              "Scheduling priority 0–9 (higher runs earlier; default 5)."
+          $ wait_opt $ timeout_opt))
+
+  let status_cmd =
+    let run socket id =
+      let client = Client.connect ~socket in
+      let reply = function
+        | Error m -> Error (`Msg m)
+        | Ok (resp : W.response) ->
+            if resp.W.status = 200 then begin
+              print_endline resp.W.resp_body;
+              Ok 0
+            end
+            else
+              Error
+                (`Msg
+                  (Printf.sprintf "daemon answered %d: %s" resp.W.status
+                     resp.W.resp_body))
+      in
+      match id with
+      | Some id -> reply (Client.status client ~id)
+      | None -> reply (Client.list_jobs client)
+    in
+    let id_opt =
+      Arg.value
+        (Arg.pos 0 (Arg.some Arg.string) None
+           (Arg.info [] ~docv:"JOB"
+              ~doc:"Job id; omit to list every job the daemon knows."))
+    in
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:"Query a job's lifecycle state (or list all jobs) from a \
+               running daemon.")
+      Term.(term_result (const run $ socket_opt $ id_opt))
+
+  let result_cmd =
+    let run socket id wait timeout =
+      let client = Client.connect ~socket in
+      match Client.result ~wait ~timeout_s:timeout client ~id with
+      | Error m -> Error (`Msg m)
+      | Ok resp -> finish_result resp
+    in
+    let id_arg =
+      Arg.required
+        (Arg.pos 0 (Arg.some Arg.string) None
+           (Arg.info [] ~docv:"JOB" ~doc:"Job id."))
+    in
+    Cmd.v
+      (Cmd.info "result" ~exits:serve_exits
+         ~doc:"Fetch a job's result document. Exits 0 when the \
+               consensus logic verified, 1 when it did not, 3 when the \
+               job is still queued or running (use $(b,--wait)).")
+      Term.(
+        term_result (const run $ socket_opt $ id_arg $ wait_opt
+        $ timeout_opt))
+
+  let scrape_cmd =
+    let run socket out =
+      let client = Client.connect ~socket in
+      match Client.metrics client with
+      | Error m -> Error (`Msg m)
+      | Ok text ->
+          (match out with
+          | None -> print_string text
+          | Some file ->
+              let oc = open_out file in
+              output_string oc text;
+              close_out oc;
+              Printf.eprintf "metrics scrape written to %s\n%!" file);
+          Ok 0
+    in
+    let out_opt =
+      Arg.value
+        (Arg.opt (Arg.some Arg.string) None
+           (Arg.info [ "o"; "output" ] ~docv:"FILE"
+              ~doc:"Write the scrape to FILE instead of stdout."))
+    in
+    Cmd.v
+      (Cmd.info "scrape"
+         ~doc:"Fetch the daemon's $(b,/metrics) endpoint: counters, \
+               gauges and histograms in the text exposition format \
+               Prometheus-style scrapers parse.")
+      Term.(term_result (const run $ socket_opt $ out_opt))
+end
+
 let main =
   Cmd.group
     (Cmd.info "glcv" ~version:"1.0.0"
@@ -1078,6 +1419,8 @@ let main =
       list_cmd; lint_cmd; synth_cmd; simulate_cmd; analyze_cmd;
       verify_cmd; ensemble_cmd; threshold_cmd; delay_cmd; export_cmd;
       vcd_cmd; probe_cmd; sweep_cmd; robustness_cmd; Campaign.group;
+      Serve.serve_cmd; Serve.submit_cmd; Serve.status_cmd;
+      Serve.result_cmd; Serve.scrape_cmd;
     ]
 
 (* term_err: all evaluation errors — runtime failures (unknown circuit,

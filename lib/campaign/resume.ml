@@ -83,16 +83,19 @@ let status ~dir =
         | Some _ | None -> None);
     }
 
-let run ?jobs ?limit ?on_progress ?metrics ~dir () =
+let run ?jobs ?limit ?on_progress ?metrics ?should_stop ~dir () =
   let ( let* ) = Result.bind in
   let* store, spec = load ~dir in
-  let todo = pending ~store (Grid.expand spec.Grid.grid) in
-  let journal = Journal.open_ ~dir in
-  let summary =
-    Fun.protect
-      ~finally:(fun () -> Journal.close journal)
-      (fun () ->
-        Runner.run ?jobs ?limit ?on_progress ?metrics ~store ~journal spec
-          todo)
+  (* single-writer discipline: a concurrent drain of the same directory
+     would run pending jobs twice and interleave the journal *)
+  let* summary =
+    Store.Lock.with_lock ~dir (fun () ->
+        let todo = pending ~store (Grid.expand spec.Grid.grid) in
+        let journal = Journal.open_ ~dir in
+        Fun.protect
+          ~finally:(fun () -> Journal.close journal)
+          (fun () ->
+            Runner.run ?jobs ?limit ?on_progress ?metrics ?should_stop
+              ~store ~journal spec todo))
   in
   Ok (store, spec, summary)

@@ -41,10 +41,18 @@ val run :
   ?limit:int ->
   ?on_progress:(Runner.progress -> unit) ->
   ?metrics:Glc_obs.Metrics.t ->
+  ?should_stop:(unit -> bool) ->
   dir:string ->
   unit ->
   (Store.t * Grid.spec * Runner.summary, string) result
 (** Loads the campaign, computes the pending set and drains it through
     {!Runner.run} (appending to the existing journal). Also the
     implementation of a {e fresh} run — a fresh campaign is a resume
-    with an empty store. *)
+    with an empty store.
+
+    The drain holds the directory's single-writer {!Store.Lock}: a
+    second process draining the same campaign concurrently gets a clean
+    [Error] instead of duplicated work and an interleaved journal (a
+    stale lock left by a [kill -9] is detected and broken). [should_stop]
+    is the graceful-interrupt hook, polled between jobs — see
+    {!Runner.run}. *)

@@ -82,7 +82,8 @@ let run_job ?metrics ~pool ~cache (spec : Grid.spec) (job : Grid.job) =
 let null_progress (_ : progress) = ()
 
 let run ?(jobs = 0) ?limit ?(on_progress = null_progress)
-    ?(metrics = Metrics.noop) ~store ~journal (spec : Grid.spec) pending =
+    ?(metrics = Metrics.noop) ?(should_stop = fun () -> false) ~store
+    ~journal (spec : Grid.spec) pending =
   let todo =
     match limit with
     | None -> List.length pending
@@ -143,6 +144,8 @@ let run ?(jobs = 0) ?limit ?(on_progress = null_progress)
       }
   in
   let jobs = if jobs = 0 then Pool.default_jobs () else jobs in
+  let attempted = ref 0 in
+  let stopped = ref false in
   Pool.with_pool ~jobs ~metrics (fun pool ->
       (* one compiled-model cache across the whole campaign: jobs over
          the same circuit and kinetics (e.g. differing only in FOV_UD
@@ -150,7 +153,10 @@ let run ?(jobs = 0) ?limit ?(on_progress = null_progress)
       let cache = Cache.create ~metrics () in
       List.iteri
         (fun i job ->
-          if i < todo then begin
+          if i < todo && not !stopped && should_stop () then
+            stopped := true;
+          if i < todo && not !stopped then begin
+            incr attempted;
             let id = Grid.job_id job in
             journal_append (Journal.Started id);
             let t_job = if live then Glc_obs.Clock.now () else 0. in
@@ -180,10 +186,10 @@ let run ?(jobs = 0) ?limit ?(on_progress = null_progress)
       (Metrics.histogram metrics "campaign.jobs_per_second")
       (float_of_int completed /. elapsed);
   {
-    ran = todo;
+    ran = !attempted;
     succeeded = !succeeded;
     failed = !failed;
-    remaining = List.length pending - todo;
+    remaining = List.length pending - !attempted;
   }
 
 let counter_progress ?(oc = stderr) () =

@@ -37,11 +37,38 @@ type summary = {
 val resolve : string -> (Glc_gates.Circuit.t, string) result
 (** Benchmark name, or any [0xNN] truth-table code. *)
 
+val job_protocol : Grid.spec -> Grid.job -> Glc_dvasim.Protocol.t
+(** The experimental protocol a job runs under: the spec's times, the
+    job's threshold and (optional) input-high level. *)
+
+val job_document :
+  seed:int -> Grid.job -> Glc_engine.Ensemble.t -> string
+(** The stored result document: the job's coordinates and seed, a
+    top-level [fitness_mean] convenience field, and the full
+    deterministic ensemble report. Byte-deterministic for a given
+    (job, seed, ensemble). *)
+
+val run_job :
+  ?metrics:Glc_obs.Metrics.t ->
+  pool:Glc_engine.Pool.t ->
+  cache:Glc_engine.Cache.t ->
+  Grid.spec ->
+  Grid.job ->
+  string
+(** Executes one job — resolve the circuit, derive its content seed
+    ({!Grid.job_seed}), run the ensemble on [pool] through [cache] —
+    and returns its result document. This is the single execution path
+    shared by campaign drains and the serve daemon, which is what makes
+    a job's stored bytes identical however it was scheduled.
+    @raise Failure on an unresolvable circuit (and whatever the
+    ensemble itself raises). *)
+
 val run :
   ?jobs:int ->
   ?limit:int ->
   ?on_progress:(progress -> unit) ->
   ?metrics:Glc_obs.Metrics.t ->
+  ?should_stop:(unit -> bool) ->
   store:Store.t ->
   journal:Journal.t ->
   Grid.spec ->
@@ -50,6 +77,13 @@ val run :
 (** [run ~store ~journal spec pending] journals every pending job as
     scheduled, then attempts the first [limit] of them (default: all)
     in order. [jobs] sizes the worker pool (0 = hardware).
+
+    [should_stop] (default: never) is polled before each job starts;
+    once it returns [true] no further job begins — the in-flight job
+    finishes, its result is persisted and journaled, and the drain
+    returns with the untouched jobs counted in [remaining]. This is the
+    graceful-interrupt hook: the CLI points it at a SIGINT/SIGTERM flag
+    so a signalled campaign flushes instead of dying mid-write.
 
     A live [metrics] registry (default {!Glc_obs.Metrics.noop}) receives
     the campaign counters [campaign.jobs_scheduled] /

@@ -43,6 +43,76 @@ let atomic_write path content =
       Unix.fsync fd);
   Unix.rename tmp path
 
+module Lock = struct
+  type lock = { l_path : string; mutable l_released : bool }
+
+  let path ~dir = Filename.concat dir "LOCK"
+
+  (* O_EXCL creation: exactly one process can create the file. The pid
+     inside is what makes staleness decidable after a kill -9. *)
+  let try_create path =
+    match
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+    with
+    | fd ->
+        let body = string_of_int (Unix.getpid ()) ^ "\n" in
+        ignore (Unix.write_substring fd body 0 (String.length body));
+        Unix.close fd;
+        true
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+
+  let holder path =
+    match read_file path with
+    | exception _ -> None
+    | text -> int_of_string_opt (String.trim text)
+
+  (* A pid is live when signal 0 can be delivered (EPERM still means
+     the process exists). ESRCH — or an unparseable lock body — means
+     the holder is gone and the lock is stale. *)
+  let pid_live pid =
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+    | exception Unix.Unix_error (_, _, _) -> false
+
+  let acquire ~dir =
+    mkdir_p dir;
+    let p = path ~dir in
+    let taken () = Ok { l_path = p; l_released = false } in
+    if try_create p then taken ()
+    else begin
+      match holder p with
+      | Some pid when pid_live pid ->
+          Error
+            (Printf.sprintf
+               "%s is locked by running process %d — only one process may \
+                drain a campaign/serve directory at a time"
+               dir pid)
+      | Some _ | None ->
+          (* stale: remove and retry once; losing the re-creation race
+             to another process is a genuine "busy" again *)
+          (try Sys.remove p with Sys_error _ -> ());
+          if try_create p then taken ()
+          else
+            Error
+              (Printf.sprintf
+                 "%s: lost the lock acquisition race after removing a \
+                  stale lock — another process is draining this directory"
+                 dir)
+    end
+
+  let release l =
+    if not l.l_released then begin
+      l.l_released <- true;
+      try Sys.remove l.l_path with Sys_error _ -> ()
+    end
+
+  let with_lock ~dir f =
+    match acquire ~dir with
+    | Error _ as e -> e
+    | Ok l -> Ok (Fun.protect ~finally:(fun () -> release l) f)
+end
+
 let results_dir t = Filename.concat t.dir results_subdir
 let manifest_path dir = Filename.concat dir manifest_name
 

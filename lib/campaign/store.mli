@@ -22,6 +22,39 @@ type t
 val mkdir_p : string -> unit
 (** [mkdir "-p"]: creates the directory and its missing parents. *)
 
+(** {2 Single-writer lock}
+
+    A campaign (or serve) state directory tolerates crashed writers —
+    every write is atomic and resume re-runs what is missing — but not
+    {e concurrent} ones: two drains of the same directory would run
+    every pending job twice and interleave journal records. The lock
+    makes the single-writer discipline explicit: the draining entry
+    points ({!Resume.run}, the serve daemon) take it for the duration
+    of the drain, and a second process opening the same directory fails
+    cleanly instead of corrupting the campaign. *)
+module Lock : sig
+  type lock
+
+  val path : dir:string -> string
+  (** [<dir>/LOCK]. *)
+
+  val acquire : dir:string -> (lock, string) result
+  (** Creates [<dir>/LOCK] with [O_CREAT|O_EXCL] containing this
+      process's pid. When the file already exists, the pid inside is
+      probed: a live process means the directory is genuinely busy
+      ([Error] naming the pid); a dead pid or unparseable content is a
+      stale lock left by a [kill -9], which is removed and the
+      acquisition retried (once — losing the re-acquisition race to
+      another process is again a clean [Error]). *)
+
+  val release : lock -> unit
+  (** Removes the lock file. Idempotent; never raises. *)
+
+  val with_lock : dir:string -> (unit -> 'a) -> ('a, string) result
+  (** [acquire], run, [release] — the release happens on exceptions
+      too. [Error] only when the acquisition itself fails. *)
+end
+
 val create : dir:string -> string -> (t, string) result
 (** [create ~dir manifest_json] initialises a fresh campaign directory
     (creating [dir] and [dir/results]) and persists the manifest.

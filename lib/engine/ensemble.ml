@@ -133,8 +133,16 @@ let aggregate ~name ~seed ~requested ~expected ~replicates ~failures =
         (Array.to_list cases);
   }
 
+exception Interrupted
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted -> Some "interrupted"
+    | _ -> None)
+
 let run ?pool ?(progress = Progress.null) ?cache
-    ?(metrics = Glc_obs.Metrics.noop) (cfg : config) (circuit : Circuit.t) =
+    ?(metrics = Glc_obs.Metrics.noop) ?(should_stop = fun () -> false)
+    (cfg : config) (circuit : Circuit.t) =
   if cfg.replicates < 1 then invalid_arg "Ensemble.run: replicates < 1";
   let module Metrics = Glc_obs.Metrics in
   let live = Metrics.enabled metrics in
@@ -165,6 +173,10 @@ let run ?pool ?(progress = Progress.null) ?cache
   let rngs = Seeds.derive ~metrics ~seed:cfg.seed cfg.replicates in
   let task i rng =
     match
+      (* polled once per replicate: a signalled run skips the not-yet-
+         started trajectories (recorded as "interrupted" failures) and
+         aggregates what completed, instead of dying mid-simulation *)
+      if should_stop () then raise Interrupted;
       let trace, _stats =
         Sim.run_compiled_rng ~events ~metrics ~rng sim_cfg compiled
       in

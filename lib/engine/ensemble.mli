@@ -94,10 +94,21 @@ val aggregate :
     @raise Invalid_argument if a replicate's arity disagrees with
     [expected]. *)
 
+exception Interrupted
+(** Raised {e inside} a replicate task when [should_stop] turns true —
+    never escapes {!run}; it surfaces as that replicate's [failure]
+    with the error text ["interrupted"]. *)
+
 val run :
   ?pool:Pool.t -> ?progress:Progress.t -> ?cache:Cache.t ->
-  ?metrics:Glc_obs.Metrics.t -> config -> Circuit.t -> t
-(** Runs the ensemble. The model is compiled once (through [cache] when
+  ?metrics:Glc_obs.Metrics.t -> ?should_stop:(unit -> bool) ->
+  config -> Circuit.t -> t
+(** Runs the ensemble. [should_stop] (default: never) is polled as each
+    replicate starts: once it returns [true], not-yet-started
+    trajectories are skipped and recorded as ["interrupted"] failures
+    while the in-flight ones finish — the graceful SIGINT/SIGTERM path
+    of [glcv ensemble], which still aggregates and reports what
+    completed. The model is compiled once (through [cache] when
     given, keyed by {!Cache.model_key} — circuit name plus a content
     fingerprint, so same-name kinetic variants never collide) and
     shared read-only by all workers. When [pool] is given its size

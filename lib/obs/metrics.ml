@@ -311,6 +311,66 @@ let span_json sp =
       ("start_s", json_float sp.sp_start);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Text exposition (Prometheus/OpenMetrics style), for live scraping   *)
+
+let mangle name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* Exposition floats: plain decimal (shortest round trip), with the
+   conventional +Inf/-Inf/NaN spellings instead of JSON's null. *)
+let text_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else json_float x
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sorted project =
+    Mutex.lock t.mutex;
+    let xs =
+      Hashtbl.fold
+        (fun name i acc ->
+          match project i with
+          | Some x -> (mangle name, x) :: acc
+          | None -> acc)
+        t.instruments []
+    in
+    Mutex.unlock t.mutex;
+    List.sort (fun (a, _) (b, _) -> compare a b) xs
+  in
+  List.iter
+    (fun (name, c) ->
+      add "# TYPE %s counter\n%s %d\n" name name (Counter.value c))
+    (sorted (function I_counter c -> Some c | _ -> None));
+  List.iter
+    (fun (name, g) ->
+      add "# TYPE %s gauge\n%s %s\n" name name (text_float (Gauge.value g)))
+    (sorted (function I_gauge g -> Some g | _ -> None));
+  List.iter
+    (fun (name, h) ->
+      add "# TYPE %s histogram\n" name;
+      Mutex.lock h.Histogram.h_mutex;
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cumulative := !cumulative + h.Histogram.h_counts.(i);
+          add "%s_bucket{le=\"%s\"} %d\n" name (text_float bound) !cumulative)
+        h.Histogram.h_bounds;
+      add "%s_bucket{le=\"+Inf\"} %d\n" name h.Histogram.h_count;
+      add "%s_sum %s\n" name (text_float h.Histogram.h_sum);
+      add "%s_count %d\n" name h.Histogram.h_count;
+      Mutex.unlock h.Histogram.h_mutex)
+    (sorted (function I_histogram h -> Some h | _ -> None));
+  Buffer.contents buf
+
 let to_json t =
   let det = deterministic_fields t in
   Mutex.lock t.mutex;

@@ -125,3 +125,29 @@ val to_json : t -> string
     histogram carries its bucket upper bounds, per-bucket counts
     (overflow bucket last), count, sum, min and max (min/max are [null]
     when empty). *)
+
+val to_text : t -> string
+(** Scrape-friendly text exposition of the registry, in the
+    OpenMetrics/Prometheus style — what a live metrics endpoint (the
+    [glcv serve] [GET /metrics] route) returns:
+
+    {v
+    # TYPE serve_jobs_submitted counter
+    serve_jobs_submitted 3
+    # TYPE serve_queue_depth gauge
+    serve_queue_depth 0
+    # TYPE serve_job_seconds histogram
+    serve_job_seconds_bucket{le="0.001"} 0
+    ...
+    serve_job_seconds_bucket{le="+Inf"} 3
+    serve_job_seconds_sum 1.91
+    serve_job_seconds_count 3
+    v}
+
+    Instrument names are mangled to the exposition charset (every
+    character outside [[A-Za-z0-9_]] becomes ['_'], so
+    [serve.jobs_submitted] scrapes as [serve_jobs_submitted]); names
+    are emitted in sorted mangled order, counters first, then gauges,
+    then histograms (with cumulative bucket counts). Spans are not
+    exported — they are a trace, not a scrapable level. Deterministic:
+    equal registries render identical bytes. *)

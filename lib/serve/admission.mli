@@ -1,0 +1,125 @@
+(** Admission control: what happens to a submission at the door.
+
+    The daemon spends simulation time only on jobs that deserve it, in
+    an order it controls, under a memory bound it enforces. Admission
+    is that policy, in sequence:
+
+    + {b validate} — the submission must name a resolvable circuit and
+      carry legal parameters (checked through the campaign grid
+      constructor, so serve and batch enforce identical rules);
+    + {b deduplicate} — the job id is content-derived, so a duplicate
+      submission is recognised exactly: if the result is already in
+      the {!Glc_campaign.Store} (this daemon life or a previous one)
+      it is served straight from disk, and if the job is already
+      queued/running the existing entry is returned — no simulation,
+      no queue slot;
+    + {b lint pre-flight} — the circuit runs the full
+      {!Glc_lint.Lint.circuit} static pass under the job's protocol;
+      lint {e errors} reject the submission with the GLC diagnostics
+      in the response body, before any queue slot or SSA step is
+      spent;
+    + {b backpressure} — a full {!Scheduler} rejects with a
+      retry-after hint derived from the observed job rate, rather than
+      growing without bound;
+    + {b persist} — an accepted job is recorded under
+      [<state>/submitted/<id>.json] (atomic write) and journaled
+      [scheduled] {e before} it is enqueued, so a daemon killed at any
+      instant re-discovers every acknowledged job on restart.
+
+    All entry points must be called under the server's state mutex. *)
+
+module Grid := Glc_campaign.Grid
+module Store := Glc_campaign.Store
+module Journal := Glc_campaign.Journal
+module Diagnostic := Glc_lint.Diagnostic
+
+type config = {
+  seed : int;  (** daemon root seed; job seeds derive from it *)
+  total_time : float;
+  hold_time : float;
+  lint_admission : bool;  (** run the lint pre-flight (default) *)
+  queue_capacity : int;
+}
+
+val config :
+  ?seed:int -> ?total_time:float -> ?hold_time:float ->
+  ?lint_admission:bool -> ?queue_capacity:int -> unit -> config
+(** Defaults: seed 42, the paper's 10,000/1,000 t.u. protocol, lint
+    on, capacity 64.
+    @raise Invalid_argument on non-positive times or capacity. *)
+
+type t = {
+  cfg : config;
+  registry : Jobstate.registry;
+  scheduler : Jobstate.entry Scheduler.t;
+  store : Store.t;
+  journal : Journal.t;
+  submitted_dir : string;
+  metrics : Glc_obs.Metrics.t;
+  mutable avg_job_seconds : float;
+      (** EWMA of completed-job wall time; feeds the retry-after hint *)
+}
+
+val create :
+  cfg:config -> store:Store.t -> journal:Journal.t ->
+  metrics:Glc_obs.Metrics.t -> state_dir:string -> t
+
+(** A parsed submission request body. *)
+type submit = {
+  sub_circuit : string;
+  sub_threshold : float option;
+  sub_fov_ud : float option;
+  sub_input_high : float option;
+  sub_replicates : int option;
+  sub_priority : int option;  (** 0–9, default 5; higher runs earlier *)
+}
+
+val submit_of_json : string -> (submit, string) result
+(** Parses [{"circuit":…,"threshold":…,…,"priority":…}]; only
+    [circuit] is required. Unknown fields are ignored. *)
+
+type outcome =
+  | Accepted of Jobstate.entry  (** enqueued; signal the worker *)
+  | Duplicate of Jobstate.entry
+      (** already known to this daemon (any phase) — no new work *)
+  | Completed of Jobstate.entry * string
+      (** result already in the store; entry registered as done,
+          document attached *)
+  | Rejected_lint of Diagnostic.t list  (** lint errors; GLC codes *)
+  | Rejected_busy of int  (** queue full; retry-after seconds *)
+  | Invalid of string  (** unresolvable circuit / illegal parameters *)
+
+val admit : t -> now:float -> submit -> outcome
+(** Runs the policy above. Counts [serve.jobs_submitted],
+    [serve.dedup_hits], [serve.admission_rejected_lint],
+    [serve.admission_rejected_busy] and maintains the
+    [serve.queue_depth] gauge. *)
+
+val retry_after : queue_depth:int -> avg_job_seconds:float -> int
+(** The backpressure hint: roughly the time the current queue needs to
+    drain at the observed rate, [ceil (depth × avg)] clamped to
+    [1–600] seconds. Pure — unit-tested against a fake clock's
+    averages. *)
+
+val note_job_seconds : t -> float -> unit
+(** Feeds a completed job's wall time into the EWMA (worker calls it). *)
+
+val protocol_of : t -> Grid.job -> Glc_dvasim.Protocol.t
+(** The protocol a job will execute under — also what the lint
+    pre-flight checks against. *)
+
+val submitted_path : t -> id:string -> string
+
+val persist_submission : t -> Jobstate.entry -> unit
+(** Atomic write of the admission record. *)
+
+val remove_submission : t -> id:string -> unit
+(** Removes the record once the job is done or cancelled. Never
+    raises. *)
+
+val pending_submissions :
+  state_dir:string -> ((Grid.job * int * int) list, string) result
+(** All persisted admission records under [state_dir], sorted by
+    sequence number — what a restarting daemon re-enqueues (after
+    dropping the ones whose result is already stored). Unreadable or
+    unparseable records are skipped, not fatal. *)

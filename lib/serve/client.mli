@@ -1,0 +1,59 @@
+(** Blocking client for the verification daemon.
+
+    One connection per call over the daemon's unix socket — simple,
+    stateless, and immune to a daemon restart between calls. This is
+    what the [glcv submit]/[status]/[result]/[scrape] subcommands and
+    the CI smoke test are built on; everything returns [result] rather
+    than raising, so callers map outcomes onto exit codes directly. *)
+
+type t
+(** A client handle: just the socket path; no live connection. *)
+
+val connect : socket:string -> t
+
+val request :
+  t -> Protocol_wire.request -> (Protocol_wire.response, string) result
+(** One full HTTP exchange: connect, send, read the response,
+    close. [Error] on connection failure or malformed response —
+    typically "no daemon on that socket". *)
+
+val submit :
+  ?threshold:float ->
+  ?fov_ud:float ->
+  ?input_high:float ->
+  ?replicates:int ->
+  ?priority:int ->
+  t ->
+  circuit:string ->
+  (Protocol_wire.response, string) result
+(** [POST /v1/jobs] with the given coordinates. The response is
+    returned whatever its status — admission rejections (422/429/400)
+    are data, not transport errors. *)
+
+val status : t -> id:string -> (Protocol_wire.response, string) result
+(** [GET /v1/jobs/ID]. *)
+
+val list_jobs : t -> (Protocol_wire.response, string) result
+(** [GET /v1/jobs]. *)
+
+val result :
+  ?wait:bool -> ?timeout_s:float -> t -> id:string ->
+  (Protocol_wire.response, string) result
+(** [GET /v1/jobs/ID/result]. With [wait] (default false), polls every
+    200 ms while the daemon answers 409 (queued/running), up to
+    [timeout_s] (default 300); any other status — 200 done, 404, 500 —
+    returns immediately. On timeout, the last 409 response is
+    returned, so callers still see the job's phase. *)
+
+val cancel : t -> id:string -> (Protocol_wire.response, string) result
+(** [DELETE /v1/jobs/ID]. *)
+
+val health : t -> (Protocol_wire.response, string) result
+
+val metrics : t -> (string, string) result
+(** [GET /metrics] — the text exposition body. *)
+
+val job_id_of_response : Protocol_wire.response -> string option
+(** Extracts ["job"]["id"] (submit replies) or top-level ["id"]
+    (status replies) from a JSON body — how the CLI chains submit into
+    status/result without re-deriving the id. *)

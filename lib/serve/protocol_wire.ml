@@ -1,0 +1,279 @@
+type meth = GET | POST | DELETE
+
+let meth_to_string = function GET -> "GET" | POST -> "POST" | DELETE -> "DELETE"
+
+let meth_of_string = function
+  | "GET" -> Some GET
+  | "POST" -> Some POST
+  | "DELETE" -> Some DELETE
+  | _ -> None
+
+type request = {
+  meth : meth;
+  target : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response ?(content_type = "application/json") ?(headers = []) status
+    body =
+  {
+    status;
+    reason = reason status;
+    resp_headers = ("content-type", content_type) :: headers;
+    resp_body = body;
+  }
+
+let header headers name =
+  let name = String.lowercase_ascii name in
+  List.find_map
+    (fun (k, v) ->
+      if String.equal (String.lowercase_ascii k) name then Some v else None)
+    headers
+
+let path_of_target target =
+  match String.index_opt target '?' with
+  | None -> target
+  | Some i -> String.sub target 0 i
+
+let split_path path =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+(* ---- reading ---- *)
+
+let max_head_bytes = 16 * 1024
+let max_body_bytes = 8 * 1024 * 1024
+
+type reader = {
+  read : bytes -> int -> int -> int;
+  buf : Buffer.t;  (* bytes received but not yet consumed *)
+  chunk : bytes;
+}
+
+let reader read = { read; buf = Buffer.create 1024; chunk = Bytes.create 4096 }
+
+let fd_reader fd =
+  reader (fun b pos len ->
+      try Unix.read fd b pos len
+      with
+      | Unix.Unix_error (Unix.ECONNRESET, _, _)
+      | Unix.Unix_error (Unix.EPIPE, _, _)
+      ->
+        0)
+
+let string_reader s =
+  let offset = ref 0 in
+  reader (fun b pos len ->
+      let n = min len (String.length s - !offset) in
+      Bytes.blit_string s !offset b pos n;
+      offset := !offset + n;
+      n)
+
+(* One read(2)-sized refill into the pending buffer; false at EOF. *)
+let refill r =
+  match r.read r.chunk 0 (Bytes.length r.chunk) with
+  | 0 -> false
+  | n ->
+      Buffer.add_subbytes r.buf r.chunk 0 n;
+      true
+  | exception Unix.Unix_error (e, _, _) ->
+      failwith (Unix.error_message e)
+
+(* Index just past the first CRLFCRLF in [s], if any. *)
+let head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some (i + 4)
+    else go (i + 1)
+  in
+  go 0
+
+let take r n =
+  let s = Buffer.contents r.buf in
+  let kept = String.sub s n (String.length s - n) in
+  Buffer.clear r.buf;
+  Buffer.add_string r.buf kept;
+  String.sub s 0 n
+
+(* Accumulates input until a complete head (terminated by CRLFCRLF) is
+   buffered; returns it consumed from the buffer. *)
+let read_head r =
+  let rec go () =
+    match head_end (Buffer.contents r.buf) with
+    | Some stop -> Ok (Some (take r stop))
+    | None ->
+        if Buffer.length r.buf > max_head_bytes then
+          Error
+            (Printf.sprintf "header block exceeds %d bytes" max_head_bytes)
+        else if refill r then go ()
+        else if Buffer.length r.buf = 0 then Ok None
+        else Error "connection closed mid-request"
+  in
+  match go () with v -> v | exception Failure m -> Error m
+
+let read_body r len =
+  if len > max_body_bytes then
+    Error (Printf.sprintf "body exceeds %d bytes" max_body_bytes)
+  else begin
+    let rec go () =
+      if Buffer.length r.buf >= len then Ok (take r len)
+      else if refill r then go ()
+      else Error "connection closed mid-body"
+    in
+    match go () with v -> v | exception Failure m -> Error m
+  end
+
+let parse_headers lines =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match String.index_opt line ':' with
+        | None -> Error (Printf.sprintf "malformed header line %S" line)
+        | Some i ->
+            let name =
+              String.lowercase_ascii (String.trim (String.sub line 0 i))
+            in
+            let value =
+              String.trim
+                (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            go ((name, value) :: acc) rest)
+  in
+  go [] lines
+
+(* Splits a head block (without the final blank line) into its lines. *)
+let head_lines head =
+  head |> String.split_on_char '\n'
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+  |> List.filter (fun l -> l <> "")
+
+let content_length headers =
+  match header headers "content-length" with
+  | None -> Ok 0
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 -> Ok n
+      | Some _ | None -> Error (Printf.sprintf "bad content-length %S" v))
+
+let read_request r =
+  let ( let* ) = Result.bind in
+  let* head = read_head r in
+  match head with
+  | None -> Ok None
+  | Some head -> (
+      match head_lines head with
+      | [] -> Error "empty request head"
+      | request_line :: header_lines -> (
+          match String.split_on_char ' ' request_line with
+          | [ meth; target; version ]
+            when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+              match meth_of_string meth with
+              | None -> Error (Printf.sprintf "unsupported method %S" meth)
+              | Some meth ->
+                  let* headers = parse_headers header_lines in
+                  (match header headers "transfer-encoding" with
+                  | Some _ -> Error "chunked transfer encoding not supported"
+                  | None when
+                      meth = POST
+                      && header headers "content-length" = None ->
+                      Error "POST requires a content-length header"
+                  | None ->
+                      let* len = content_length headers in
+                      let* body = read_body r len in
+                      Ok (Some { meth; target; headers; body })))
+          | _ -> Error (Printf.sprintf "malformed request line %S" request_line)))
+
+let read_response r =
+  let ( let* ) = Result.bind in
+  let* head = read_head r in
+  match head with
+  | None -> Error "connection closed before a response"
+  | Some head -> (
+      match head_lines head with
+      | [] -> Error "empty response head"
+      | status_line :: header_lines -> (
+          match String.split_on_char ' ' status_line with
+          | version :: code :: rest
+            when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+              match int_of_string_opt code with
+              | None -> Error (Printf.sprintf "bad status line %S" status_line)
+              | Some status ->
+                  let* headers = parse_headers header_lines in
+                  let* len = content_length headers in
+                  let* body = read_body r len in
+                  Ok
+                    {
+                      status;
+                      reason = String.concat " " rest;
+                      resp_headers = headers;
+                      resp_body = body;
+                    })
+          | _ -> Error (Printf.sprintf "bad status line %S" status_line)))
+
+let keep_alive req =
+  match header req.headers "connection" with
+  | Some v -> not (String.equal (String.lowercase_ascii (String.trim v)) "close")
+  | None -> true
+
+(* ---- writing ---- *)
+
+let render_headers buf headers =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf k;
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf v;
+      Buffer.add_string buf "\r\n")
+    headers
+
+let render_request req =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (meth_to_string req.meth);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf req.target;
+  Buffer.add_string buf " HTTP/1.1\r\n";
+  render_headers buf req.headers;
+  if req.body <> "" || req.meth = POST then
+    Buffer.add_string buf
+      (Printf.sprintf "content-length: %d\r\n" (String.length req.body));
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf req.body;
+  Buffer.contents buf
+
+let render_response ?(close = false) resp =
+  let buf = Buffer.create (String.length resp.resp_body + 256) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" resp.status resp.reason);
+  render_headers buf resp.resp_headers;
+  Buffer.add_string buf
+    (Printf.sprintf "content-length: %d\r\n" (String.length resp.resp_body));
+  if close then Buffer.add_string buf "connection: close\r\n";
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf resp.resp_body;
+  Buffer.contents buf

@@ -1,0 +1,98 @@
+(** Minimal HTTP/1.1 framing for the verification service.
+
+    The daemon speaks plain HTTP/1.1 with JSON bodies over a unix
+    socket — curl-able, no dependencies — and this module is the whole
+    wire layer: parse a request, render a response, and the symmetric
+    client half. It deliberately implements only what the service
+    needs: [GET]/[POST]/[DELETE], [Content-Length] framing (no chunked
+    transfer), persistent connections with [Connection: close]
+    opt-out, and hard limits on header-block and body sizes so a
+    misbehaving client cannot balloon the daemon's memory.
+
+    Parsing is written against an abstract byte {!reader} rather than a
+    file descriptor, so every path is unit-testable from strings. *)
+
+type meth = GET | POST | DELETE
+
+val meth_to_string : meth -> string
+
+type request = {
+  meth : meth;
+  target : string;  (** request target as sent, e.g. ["/v1/jobs/x?y=1"] *)
+  headers : (string * string) list;
+      (** in arrival order; names lowercased *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+val reason : int -> string
+(** Canonical reason phrase for the status codes the service uses;
+    ["Unknown"] otherwise. *)
+
+val response :
+  ?content_type:string -> ?headers:(string * string) list -> int ->
+  string -> response
+(** [response status body] with [Content-Type] (default
+    [application/json]) and any extra [headers]. [Content-Length] and
+    [Connection] are added at render time. *)
+
+val header : (string * string) list -> string -> string option
+(** Case-insensitive header lookup (first match). *)
+
+val path_of_target : string -> string
+(** The target without its query string: ["/v1/jobs?x=1"] is
+    ["/v1/jobs"]. *)
+
+val split_path : string -> string list
+(** Non-empty segments of a path: ["/v1/jobs/abc"] is
+    [["v1"; "jobs"; "abc"]]. *)
+
+(** {2 Reading} *)
+
+type reader
+(** A buffered byte source. *)
+
+val reader : (bytes -> int -> int -> int) -> reader
+(** [reader read] wraps a [read buf pos len] function returning the
+    number of bytes read, [0] at end of input (the [Unix.read]
+    contract). *)
+
+val fd_reader : Unix.file_descr -> reader
+
+val string_reader : string -> reader
+(** Reads from a fixed string — the unit-test source. *)
+
+val read_request : reader -> (request option, string) result
+(** Reads one request. [Ok None] on a clean end of input before any
+    byte of a request (the peer closed an idle connection); [Error] on
+    malformed framing, an unsupported method, a missing
+    [Content-Length] on a body-carrying method, or an oversized
+    header block / body. *)
+
+val read_response : reader -> (response, string) result
+(** The client half: one status line, headers, [Content-Length] body. *)
+
+val keep_alive : request -> bool
+(** False when the request carries [Connection: close]. *)
+
+(** {2 Writing} *)
+
+val render_request : request -> string
+(** Serialises a request with [Content-Length] framing (the client
+    side). *)
+
+val render_response : ?close:bool -> response -> string
+(** Serialises a response; [close] adds [Connection: close]. *)
+
+val max_head_bytes : int
+(** Header-block ceiling (16 KiB). *)
+
+val max_body_bytes : int
+(** Body ceiling (8 MiB) — larger than any result document the engine
+    produces, small enough to bound a connection's memory. *)

@@ -349,6 +349,131 @@ let test_resume_determinism () =
                 (Option.get (Store.get store ~id)))
             jobs))
 
+(* ---- the store lock (single-writer discipline) ---- *)
+
+let test_lock_exclusion () =
+  with_dir (fun dir ->
+      Store.mkdir_p dir;
+      let lock = Result.get_ok (Store.Lock.acquire ~dir) in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      (match Store.Lock.acquire ~dir with
+      | Ok _ -> Alcotest.fail "second acquire must fail"
+      | Error m ->
+          checkb "error names the holder pid" true
+            (contains m (string_of_int (Unix.getpid ()))));
+      Store.Lock.release lock;
+      Store.Lock.release lock (* idempotent *);
+      let lock2 = Result.get_ok (Store.Lock.acquire ~dir) in
+      Store.Lock.release lock2)
+
+let test_lock_breaks_stale () =
+  with_dir (fun dir ->
+      Store.mkdir_p dir;
+      (* a pid that cannot be live: max_pid defaults to 2^22 on linux,
+         and 0x3FFFFFFF is far above any configurable ceiling *)
+      write_file (Store.Lock.path ~dir) "1073741823\n";
+      let lock = Result.get_ok (Store.Lock.acquire ~dir) in
+      Store.Lock.release lock;
+      (* unparseable content is also treated as stale *)
+      write_file (Store.Lock.path ~dir) "not a pid";
+      let lock2 = Result.get_ok (Store.Lock.acquire ~dir) in
+      Store.Lock.release lock2)
+
+let test_resume_holds_lock () =
+  with_dir (fun dir ->
+      let spec = quick_spec () in
+      ignore (Result.get_ok (Store.create ~dir (Grid.spec_to_json spec)));
+      (* a held lock must make the drain fail cleanly, not corrupt *)
+      let lock = Result.get_ok (Store.Lock.acquire ~dir) in
+      checkb "drain refuses a locked dir" true
+        (Result.is_error (Resume.run ~dir ()));
+      Store.Lock.release lock;
+      let _, _, s = Result.get_ok (Resume.run ~dir ()) in
+      checki "drain runs after release" 2 s.Runner.succeeded;
+      checkb "lock released after drain" true
+        (not (Sys.file_exists (Store.Lock.path ~dir))))
+
+(* ---- graceful interruption (should_stop) ---- *)
+
+let test_runner_should_stop () =
+  with_dir (fun dir ->
+      let spec = quick_spec () in
+      ignore (Result.get_ok (Store.create ~dir (Grid.spec_to_json spec)));
+      (* stop after the first job: the flag flips once a job has run *)
+      let ran_one = ref false in
+      let _, _, s =
+        Result.get_ok
+          (Resume.run
+             ~should_stop:(fun () ->
+               let stop = !ran_one in
+               ran_one := true;
+               stop)
+             ~dir ())
+      in
+      checki "one job ran" 1 s.Runner.ran;
+      checki "one job remains" 1 s.Runner.remaining;
+      (* the journal is intact and a plain resume finishes the rest *)
+      checkb "journal parseable" true (Journal.read ~dir <> []);
+      let _, _, s2 = Result.get_ok (Resume.run ~dir ()) in
+      checki "resume finishes the remainder" 1 s2.Runner.ran;
+      checki "nothing remains" 0 s2.Runner.remaining)
+
+(* ---- kill-and-inspect: SIGINT against the real CLI ---- *)
+
+let glcv_exe = Filename.concat (Sys.getcwd ()) "../bin/glcv.exe"
+
+let run_glcv ?(kill_after : float option) args =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process glcv_exe
+      (Array.of_list (glcv_exe :: args))
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  (match kill_after with
+  | None -> ()
+  | Some dt ->
+      ignore (Unix.select [] [] [] dt);
+      (try Unix.kill pid Sys.sigint with Unix.Unix_error _ -> ()));
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> -1
+
+let test_cli_sigint_campaign () =
+  with_dir (fun dir ->
+      (* enough replicate mass that 0.4 s lands mid-drain *)
+      let args =
+        [
+          "campaign"; "run"; "--dir"; dir; "-c"; "genetic_NOT";
+          "--replicates"; "8,10,12,14,16,18"; "--total"; "2000";
+          "--hold"; "1000";
+        ]
+      in
+      let code = run_glcv ~kill_after:0.4 args in
+      if code = 130 then begin
+        (* interrupted: the journal survived and is parseable, and a
+           plain resume completes the campaign *)
+        checkb "journal parseable after SIGINT" true
+          (Journal.read ~dir <> []);
+        let resume_code =
+          run_glcv [ "campaign"; "resume"; "--dir"; dir ]
+        in
+        checki "resume completes cleanly" 0 resume_code;
+        let store, spec = Result.get_ok (Resume.load ~dir) in
+        checkb "every job done after resume" true
+          (List.for_all
+             (fun l -> l.Store.l_done)
+             (Store.lines store spec))
+      end
+      else
+        (* the machine raced ahead and finished before the signal;
+           that is a pass for the exit-code contract, not a failure *)
+        checki "finished before the signal" 0 code)
+
 let test_report_counts_missing () =
   with_dir (fun dir ->
       let spec = quick_spec () in
@@ -399,10 +524,20 @@ let () =
           Alcotest.test_case "partial trailing line" `Quick
             test_journal_partial_tail;
         ] );
+      ( "lock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_lock_exclusion;
+          Alcotest.test_case "stale lock broken" `Quick
+            test_lock_breaks_stale;
+          Alcotest.test_case "drain takes the lock" `Slow
+            test_resume_holds_lock;
+        ] );
       ( "runner",
         [
           Alcotest.test_case "failure capture" `Quick
             test_runner_captures_failures;
+          Alcotest.test_case "graceful stop between jobs" `Slow
+            test_runner_should_stop;
         ] );
       ( "resume",
         [
@@ -410,5 +545,7 @@ let () =
             test_resume_determinism;
           Alcotest.test_case "report counts missing jobs" `Quick
             test_report_counts_missing;
+          Alcotest.test_case "SIGINT exits 130 and resumes" `Slow
+            test_cli_sigint_campaign;
         ] );
     ]

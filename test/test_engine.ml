@@ -179,6 +179,38 @@ let test_cache () =
   ignore (Cache.compiled cache ~key:"genetic_NOT" build);
   checki "rebuilt after clear" 3 !builds
 
+let test_cache_concurrent () =
+  (* Four domains race on the same key. The cache holds its lock across
+     the miss's compile, so exactly one build must happen and everyone
+     must get the same physical compilation. *)
+  let cache = Cache.create () in
+  let builds = Atomic.make 0 in
+  let gate = Atomic.make false in
+  let build () =
+    Atomic.incr builds;
+    Glc_gates.Circuit.model (Circuits.genetic_not ())
+  in
+  let worker () =
+    while not (Atomic.get gate) do
+      Domain.cpu_relax ()
+    done;
+    Cache.compiled cache ~key:"genetic_NOT" build
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  Atomic.set gate true;
+  let results = List.map Domain.join domains in
+  checki "built once" 1 (Atomic.get builds);
+  checki "misses" 1 (Cache.misses cache);
+  checki "hits" 3 (Cache.hits cache);
+  match results with
+  | first :: rest ->
+      List.iteri
+        (fun i c ->
+          checkb (Printf.sprintf "domain %d shares the compilation" (i + 1))
+            true (c == first))
+        rest
+  | [] -> Alcotest.fail "no results"
+
 (* Regression: two circuits with the SAME name but different kinetics
    must not share a compilation. Keying the cache by name alone served
    the first circuit's model to the second; model_key folds a content
@@ -456,6 +488,8 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "memoizes" `Quick test_cache;
+          Alcotest.test_case "concurrent same-key" `Quick
+            test_cache_concurrent;
           Alcotest.test_case "fingerprint keying" `Quick
             test_cache_fingerprint;
         ] );

@@ -115,6 +115,36 @@ let test_export_sorted_and_repeatable () =
     "{\"counters\":{\"alpha\":2,\"zeta\":1},\"gauges\":{\"mid\":0.5}}" json;
   checks "repeatable" json (Metrics.deterministic_json t)
 
+let test_to_text_exposition () =
+  let t = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter t "serve.jobs_submitted") 3 ;
+  Metrics.Counter.incr (Metrics.counter t "alpha");
+  Metrics.Gauge.set (Metrics.gauge t "serve.queue_depth") 2.;
+  let h = Metrics.histogram ~buckets:[| 0.5; 1.0 |] t "job_seconds" in
+  Metrics.Histogram.observe h 0.25;
+  Metrics.Histogram.observe h 0.75;
+  Metrics.Histogram.observe h 9.;
+  let text = Metrics.to_text t in
+  checks "deterministic across renders" text (Metrics.to_text t);
+  (* dots are mangled to underscores; counters sort before gauges *)
+  checkb "mangled counter line" true
+    (contains text "# TYPE serve_jobs_submitted counter\nserve_jobs_submitted 3\n");
+  checkb "plain counter line" true
+    (contains text "# TYPE alpha counter\nalpha 1\n");
+  checkb "gauge line" true
+    (contains text "# TYPE serve_queue_depth gauge\nserve_queue_depth 2\n");
+  checkb "no raw dotted names" false (contains text "serve.");
+  (* histogram buckets are cumulative and capped by +Inf, then sum/count *)
+  checkb "histogram block" true
+    (contains text
+       "# TYPE job_seconds histogram\n\
+        job_seconds_bucket{le=\"0.5\"} 1\n\
+        job_seconds_bucket{le=\"1\"} 2\n\
+        job_seconds_bucket{le=\"+Inf\"} 3\n\
+        job_seconds_sum 10\n\
+        job_seconds_count 3\n");
+  checks "noop renders empty" "" (Metrics.to_text Metrics.noop)
+
 let test_deterministic_json_excludes_timings () =
   let t = Metrics.create () in
   Metrics.Counter.incr (Metrics.counter t "kept");
@@ -206,6 +236,7 @@ let () =
             test_export_sorted_and_repeatable;
           Alcotest.test_case "deterministic section excludes timings" `Quick
             test_deterministic_json_excludes_timings;
+          Alcotest.test_case "text exposition" `Quick test_to_text_exposition;
         ] );
       ( "spans",
         [

@@ -1,13 +1,26 @@
-(* CI gate for the --metrics export: the file must parse with the
-   project's own JSON reader and carry the documented shape —
+(* CI gate for metrics exports, in both formats the tooling emits.
+
+   JSON mode (default): the file must parse with the project's own JSON
+   reader and carry the documented shape —
    {"deterministic":{"counters":{...},"gauges":{...}},
     "timings":{"histograms":{...},"spans":{...}}} —
    plus, for an ensemble run, the SSA and engine counters the rest of
-   the tooling keys on. Repeatable --max COUNTER=CEILING arguments
-   additionally assert a counter's value never exceeds the ceiling —
-   the tripwire CI uses to catch regressions of the sparse propensity
-   engine (ssa.propensity_evals is deterministic for a fixed seed).
-   Exits nonzero with a message on any mismatch. *)
+   the tooling keys on.
+
+   Text mode (--text): the file is a Metrics.to_text scrape — the
+   exposition `glcv scrape` serves from a daemon's /metrics endpoint.
+   Every sample line must be `name value`; `# TYPE` comments and
+   labelled histogram bucket lines are checked for form and skipped as
+   samples.
+
+   Repeatable --max COUNTER=CEILING arguments additionally assert a
+   counter's value never exceeds the ceiling — the tripwire CI uses to
+   catch regressions of the sparse propensity engine
+   (ssa.propensity_evals is deterministic for a fixed seed) and runaway
+   serve.* failure counters. In text mode dotted counter names are
+   mangled the way the exposition mangles them (serve.jobs_failed
+   matches serve_jobs_failed). Exits nonzero with a message on any
+   mismatch. *)
 
 module Json = Glc_core.Report.Json
 
@@ -26,7 +39,8 @@ let member v key =
   | None -> fail "missing key %S" key
 
 let usage () =
-  prerr_endline "usage: check_metrics FILE.json [--max COUNTER=CEILING]...";
+  prerr_endline
+    "usage: check_metrics [--text] FILE [--max COUNTER=CEILING]...";
   exit 2
 
 let parse_max spec =
@@ -39,19 +53,9 @@ let parse_max spec =
       | Some ceiling when key <> "" -> (key, ceiling)
       | Some _ | None -> usage ())
 
-let () =
-  let path, maxes =
-    let rec parse path maxes = function
-      | [] -> (path, List.rev maxes)
-      | "--max" :: spec :: rest -> parse path (parse_max spec :: maxes) rest
-      | p :: rest when path = None -> parse (Some p) maxes rest
-      | _ -> usage ()
-    in
-    match parse None [] (List.tl (Array.to_list Sys.argv)) with
-    | Some path, maxes -> (path, maxes)
-    | None, _ -> usage ()
-  in
-  let text = try read_file path with Sys_error m -> fail "%s" m in
+(* ---- JSON mode ---- *)
+
+let check_json path text maxes =
   let doc =
     match Json.parse text with
     | Ok doc -> doc
@@ -89,3 +93,85 @@ let () =
       | Some n -> Printf.printf "check_metrics: %s = %d <= %d\n" key n ceiling)
     maxes;
   Printf.printf "check_metrics: %s OK\n" path
+
+(* ---- text-exposition mode ---- *)
+
+(* The exposition mangles instrument names the same way. *)
+let mangle name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let is_sample_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false)
+       name
+
+let check_text path text maxes =
+  let samples = Hashtbl.create 64 in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line = "" || String.length line > 0 && line.[0] = '#' then ()
+      else if String.contains line '{' then
+        (* labelled sample (histogram bucket): form only, not a counter *)
+        (match String.index_opt line '}' with
+        | Some j
+          when j + 2 < String.length line
+               && line.[j + 1] = ' '
+               && int_of_string_opt
+                    (String.sub line (j + 2) (String.length line - j - 2))
+                  <> None ->
+            ()
+        | _ -> fail "%s:%d: malformed labelled sample %S" path lineno line)
+      else
+        match String.split_on_char ' ' line with
+        | [ name; value ] when is_sample_name name ->
+            (* gauges and histogram sums may be floats; keep counters
+               (integers) for the ceiling checks *)
+            (match int_of_string_opt value with
+            | Some n -> Hashtbl.replace samples name n
+            | None ->
+                if float_of_string_opt value = None then
+                  fail "%s:%d: sample %S has non-numeric value %S" path
+                    lineno name value)
+        | _ -> fail "%s:%d: malformed sample line %S" path lineno line)
+    lines;
+  if Hashtbl.length samples = 0 then fail "%s: no samples found" path;
+  List.iter
+    (fun (key, ceiling) ->
+      let name = mangle key in
+      match Hashtbl.find_opt samples name with
+      | None -> fail "sample %S (for %S) is missing or not an integer" name key
+      | Some n when n > ceiling ->
+          fail "sample %S is %d, above the ceiling %d" name n ceiling
+      | Some n -> Printf.printf "check_metrics: %s = %d <= %d\n" name n ceiling)
+    maxes;
+  Printf.printf "check_metrics: %s OK (%d samples)\n" path
+    (Hashtbl.length samples)
+
+let () =
+  let path, maxes, text_mode =
+    let rec parse path maxes text_mode = function
+      | [] -> (path, List.rev maxes, text_mode)
+      | "--text" :: rest -> parse path maxes true rest
+      | "--max" :: spec :: rest ->
+          parse path (parse_max spec :: maxes) text_mode rest
+      | p :: rest when path = None -> parse (Some p) maxes text_mode rest
+      | _ -> usage ()
+    in
+    match parse None [] false (List.tl (Array.to_list Sys.argv)) with
+    | Some path, maxes, text_mode -> (path, maxes, text_mode)
+    | None, _, _ -> usage ()
+  in
+  let text = try read_file path with Sys_error m -> fail "%s" m in
+  if text_mode then check_text path text maxes
+  else check_json path text maxes
