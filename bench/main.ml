@@ -6,6 +6,7 @@
                                  fig3 | fig4 | fig5 | table1 | timing
                                  ssa     -- sparse-engine benchmark,
                                             writes BENCH_ssa.json
+                                 symbolic -- certified-first vs SSA-only
 
    Absolute numbers differ from the paper (our substrate is a re-built
    simulator, not the authors' testbed); the *shape* of each result is
@@ -872,6 +873,61 @@ let bench_ssa () =
     (if all_identical then "yes" else "NO!");
   if not all_identical then exit 1
 
+(* ---- symbolic certification: certified-first vs SSA-only ---- *)
+
+(* The whole Table-1 set verified twice: through the hybrid path
+   (certificate first, SSA only for undecided rows) and through the
+   pre-certificate simulate-everything path. Both must return the same
+   verdict; the wall-clock ratio is the point of the symbolic
+   analyser — 97 of the 98 rows prove without sampling a single
+   trajectory. *)
+let bench_symbolic () =
+  section
+    "Symbolic verification -- certified-first vs SSA-only (Table-1, \
+     paper protocol)";
+  let protocol = Protocol.default in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* warm-up: code and allocator *)
+  ignore (Verify.certified_first ~protocol (List.hd (Benchmarks.all ())));
+  Printf.printf "%-14s %5s %10s %9s %10s %11s %9s\n" "circuit" "rows"
+    "certified" "simulated" "hybrid s" "ssa-only s" "speedup";
+  let t_hybrid = ref 0. and t_ssa = ref 0. in
+  let certified = ref 0 and rows = ref 0 in
+  List.iter
+    (fun c ->
+      let h, th = timed (fun () -> Verify.certified_first ~protocol c) in
+      let v, ts =
+        timed (fun () ->
+            let e = Experiment.run ~protocol c in
+            let r = Analyzer.of_experiment e in
+            Verify.against ~expected:c.Circuit.expected r)
+      in
+      let cert = h.Verify.h_certificate in
+      if h.Verify.h_report.Verify.verified <> v.Verify.verified then
+        Printf.printf "!! %s: hybrid and SSA-only verdicts disagree\n"
+          c.Circuit.name;
+      t_hybrid := !t_hybrid +. th;
+      t_ssa := !t_ssa +. ts;
+      certified := !certified + Glc_symbolic.Certificate.decided cert;
+      rows := !rows + Glc_symbolic.Certificate.rows cert;
+      Printf.printf "%-14s %5d %10d %9d %10.3f %11.3f %8.1fx\n"
+        c.Circuit.name
+        (Glc_symbolic.Certificate.rows cert)
+        (Glc_symbolic.Certificate.decided cert)
+        (List.length h.Verify.h_simulated_rows)
+        th ts
+        (if th > 0. then ts /. th else 0.))
+    (Benchmarks.all ());
+  Printf.printf
+    "\ntotal: %d/%d row(s) certified; hybrid %.3f s, SSA-only %.3f s \
+     (%.1fx)\n"
+    !certified !rows !t_hybrid !t_ssa
+    (if !t_hybrid > 0. then !t_ssa /. !t_hybrid else 0.)
+
 (* ---- observability: instrumentation overhead (lib/obs) ---- *)
 
 (* The Table-1 workload — all 15 benchmark circuits under the paper's
@@ -937,6 +993,7 @@ let all () =
   ensemble_scaling ();
   campaign_bench ();
   bench_ssa ();
+  bench_symbolic ();
   obs_bench ();
   timing ()
 
@@ -965,13 +1022,14 @@ let () =
       | "ensemble" -> ensemble_scaling ()
       | "campaign" -> campaign_bench ()
       | "ssa" -> bench_ssa ()
+      | "symbolic" -> bench_symbolic ()
       | "obs" -> obs_bench ()
       | "all" -> all ()
       | other ->
           Printf.eprintf
             "unknown artefact %S \
              (fig2|fig3|fig4|fig5|table1|timing|ablation_hold|ablation_fov|\
-             ablation_algorithms|ablation_yield|ablation_order|baselines|population|scaling|ensemble|campaign|ssa|obs|all)\n"
+             ablation_algorithms|ablation_yield|ablation_order|baselines|population|scaling|ensemble|campaign|ssa|symbolic|obs|all)\n"
             other;
           exit 2)
     jobs

@@ -69,6 +69,7 @@ module Verify = Glc_core.Verify
 module Report = Glc_core.Report
 module Lint = Glc_lint.Lint
 module Diagnostic = Glc_lint.Diagnostic
+module Certificate = Glc_symbolic.Certificate
 
 let find_circuit name =
   match Benchmarks.find name with
@@ -502,6 +503,12 @@ let analyze_cmd =
 
 (* ---- verify ---- *)
 
+let combination_string ~arity row =
+  String.init arity (fun j ->
+      if (row lsr (arity - 1 - j)) land 1 = 1 then '1' else '0')
+
+(* The pure-SSA path, kept verbatim behind --no-certify: simulate the
+   whole stimulus schedule and extract every row stochastically. *)
 let verify_one protocol fov c =
   let e = Experiment.run ~protocol c in
   let params =
@@ -511,23 +518,65 @@ let verify_one protocol fov c =
   let v = Verify.against ~expected:c.Circuit.expected r in
   (r, v)
 
+let margin_opt =
+  Arg.value
+    (Arg.opt Arg.float Certificate.default_margin
+       (Arg.info [ "margin" ] ~docv:"SIGMAS"
+          ~doc:"Noise margin of the symbolic analyser, in Poisson \
+                standard deviations: a steady-state bound must clear \
+                the threshold by this many sqrt(bound) molecules before \
+                a row counts as proved."))
+
 let verify_cmd =
-  let run protocol fov all no_lint circuit =
+  let run protocol fov margin no_certify all no_lint metrics_file circuit =
+    let hybrid metrics c =
+      let params =
+        { Analyzer.threshold = protocol.Protocol.threshold; fov_ud = fov }
+      in
+      Verify.certified_first ~params ~margin ~metrics ~protocol c
+    in
     if all then begin
       match lint_guard ~no_lint ~protocol (Benchmarks.all ()) with
       | Error code -> Ok code
       | Ok () ->
       let failures = ref 0 in
-      List.iter
-        (fun c ->
-          let r, v = verify_one protocol fov c in
-          if not v.Verify.verified then incr failures;
-          Format.printf "%-14s %-8s fitness=%6.2f%%  %s = %a@."
-            c.Circuit.name
-            (if v.Verify.verified then "VERIFIED" else "WRONG")
-            r.Analyzer.fitness c.Circuit.output Glc_logic.Expr.pp
-            r.Analyzer.expr)
-        (Benchmarks.all ());
+      if no_certify then
+        List.iter
+          (fun c ->
+            let r, v = verify_one protocol fov c in
+            if not v.Verify.verified then incr failures;
+            Format.printf "%-14s %-8s fitness=%6.2f%%  %s = %a@."
+              c.Circuit.name
+              (if v.Verify.verified then "VERIFIED" else "WRONG")
+              r.Analyzer.fitness c.Circuit.output Glc_logic.Expr.pp
+              r.Analyzer.expr)
+          (Benchmarks.all ())
+      else begin
+        let certified = ref 0 and total = ref 0 in
+        with_metrics metrics_file (fun metrics ->
+            List.iter
+              (fun c ->
+                let h = hybrid metrics c in
+                let v = h.Verify.h_report in
+                let cert = h.Verify.h_certificate in
+                if not v.Verify.verified then incr failures;
+                certified := !certified + Certificate.decided cert;
+                total := !total + Certificate.rows cert;
+                Format.printf
+                  "%-14s %-8s cert=%d/%d fitness=%6.2f%%  %s = %a@."
+                  c.Circuit.name
+                  (if v.Verify.verified then "VERIFIED" else "WRONG")
+                  (Certificate.decided cert)
+                  (Certificate.rows cert) v.Verify.fitness c.Circuit.output
+                  Glc_logic.Expr.pp
+                  (Glc_logic.Qm.to_expr ~inputs:c.Circuit.inputs
+                     v.Verify.extracted))
+              (Benchmarks.all ()));
+        Format.printf
+          "certified %d/%d truth-table row(s) symbolically; simulated \
+           the rest@."
+          !certified !total
+      end;
       if !failures > 0 then begin
         Format.printf "%d circuit(s) not verified@." !failures;
         Ok exit_not_verified
@@ -542,22 +591,52 @@ let verify_cmd =
           match lint_guard ~no_lint ~protocol [ c ] with
           | Error code -> Ok code
           | Ok () ->
-          let r, v = verify_one protocol fov c in
-          Format.printf "%a@.%a@."
-            (Report.pp_result ~output_name:c.Circuit.output)
-            r Report.pp_verification v;
-          if v.Verify.verified then Ok 0
+          if no_certify then begin
+            let r, v = verify_one protocol fov c in
+            Format.printf "%a@.%a@."
+              (Report.pp_result ~output_name:c.Circuit.output)
+              r Report.pp_verification v;
+            if v.Verify.verified then Ok 0
+            else begin
+              List.iter
+                (Format.printf "  %a@."
+                   (Verify.pp_finding ~arity:r.Analyzer.arity))
+                (Verify.diagnose r v);
+              Ok exit_not_verified
+            end
+          end
           else begin
-            List.iter
-              (Format.printf "  %a@."
-                 (Verify.pp_finding ~arity:r.Analyzer.arity))
-              (Verify.diagnose r v);
-            Ok exit_not_verified
+            let h = with_metrics metrics_file (fun m -> hybrid m c) in
+            let v = h.Verify.h_report in
+            let arity = Circuit.arity c in
+            Format.printf "%a@." Certificate.pp h.Verify.h_certificate;
+            Format.printf "@[<v>%-12s %-10s %6s %8s@,"
+              "combination" "source" "output" "expected";
+            for row = 0 to (1 lsl arity) - 1 do
+              Format.printf "%-12s %-10s %6s %8s@,"
+                (combination_string ~arity row)
+                (Verify.provenance_string h.Verify.h_provenance.(row))
+                (if Glc_logic.Truth_table.output v.Verify.extracted row
+                 then "1"
+                 else "0")
+                (if Glc_logic.Truth_table.output v.Verify.expected row
+                 then "1"
+                 else "0")
+            done;
+            Format.printf "@]@.%a@." Report.pp_verification v;
+            if v.Verify.verified then Ok 0 else Ok exit_not_verified
           end)
   in
   let all_opt =
     Arg.value
       (Arg.flag (Arg.info [ "all" ] ~doc:"Verify all benchmark circuits."))
+  in
+  let no_certify_opt =
+    Arg.value
+      (Arg.flag
+         (Arg.info [ "no-certify" ]
+            ~doc:"Skip the symbolic analyser and simulate every row \
+                  (the pre-certificate behaviour)."))
   in
   let circuit_opt =
     let parse s = Ok (find_circuit s) in
@@ -573,15 +652,115 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~exits:verdict_exits
-       ~doc:"Verify extracted logic against the intended truth table. \
-             Runs the pre-flight lint first (exit 2 on lint errors; \
-             $(b,--no-lint) skips it). Exits 0 when the circuit \
-             verifies and 1 when it does not (with a per-state \
-             diagnosis), so scripts and CI can branch on the verdict.")
+       ~doc:"Verify a circuit against the intended truth table. The \
+             symbolic analyser ($(b,glcv certify)) is consulted first \
+             and only the rows it leaves undecided are simulated \
+             ($(b,--no-certify) restores the simulate-everything \
+             path). Runs the pre-flight lint first (exit 2 on lint \
+             errors; $(b,--no-lint) skips it). Exits 0 when the \
+             circuit verifies and 1 when it does not, so scripts and \
+             CI can branch on the verdict.")
     Term.(
       term_result
-        (const run $ protocol_term $ fov_opt $ all_opt $ no_lint_opt
-        $ circuit_opt))
+        (const run $ protocol_term $ fov_opt $ margin_opt $ no_certify_opt
+        $ all_opt $ no_lint_opt $ metrics_opt $ circuit_opt))
+
+(* ---- certify ---- *)
+
+let certify_exits =
+  Cmd.Exit.info exit_not_verified
+    ~doc:"a proved row contradicts the intended truth table — the \
+          circuit computes the wrong function there, and no amount of \
+          simulation will change that."
+  :: Cmd.Exit.info exit_incomplete
+    ~doc:"undecided row(s) remain: their steady-state bounds straddle \
+          the logic threshold, so only simulation ($(b,glcv verify)) \
+          can settle them."
+  :: Cmd.Exit.defaults
+
+let certify_cmd =
+  let run protocol margin json all metrics_file circuit =
+    let verdict_code certs =
+      if
+        List.exists (fun ct -> Certificate.contradictions ct <> []) certs
+      then exit_not_verified
+      else if
+        List.exists (fun ct -> not (Certificate.fully_decided ct)) certs
+      then exit_incomplete
+      else 0
+    in
+    with_metrics metrics_file (fun metrics ->
+        let certify c = Certificate.certify ~metrics ~margin ~protocol c in
+        if all then begin
+          let certs = List.map certify (Benchmarks.all ()) in
+          if json then begin
+            print_string "[";
+            List.iteri
+              (fun i ct ->
+                if i > 0 then print_string ",";
+                print_string (Certificate.to_json ct))
+              certs;
+            print_string "]\n"
+          end
+          else begin
+            List.iter (Format.printf "%a@.@." Certificate.pp) certs;
+            let proved =
+              List.fold_left (fun a ct -> a + Certificate.decided ct) 0 certs
+            and rows =
+              List.fold_left (fun a ct -> a + Certificate.rows ct) 0 certs
+            in
+            Format.printf
+              "certified %d/%d truth-table row(s) across %d circuit(s)@."
+              proved rows (List.length certs)
+          end;
+          Ok (verdict_code certs)
+        end
+        else
+          match circuit with
+          | None -> Error (`Msg "give a circuit name or --all")
+          | Some (Error e) -> Error e
+          | Some (Ok c) ->
+              let ct = certify c in
+              if json then print_string (Certificate.to_json ct ^ "\n")
+              else Format.printf "%a@." Certificate.pp ct;
+              Ok (verdict_code [ ct ]))
+  in
+  let json_opt =
+    Arg.value
+      (Arg.flag
+         (Arg.info [ "json" ]
+            ~doc:"Print the certificate(s) as deterministic JSON."))
+  in
+  let all_opt =
+    Arg.value
+      (Arg.flag
+         (Arg.info [ "all" ] ~doc:"Certify all benchmark circuits."))
+  in
+  let circuit_opt =
+    let parse s = Ok (find_circuit s) in
+    let print ppf = function
+      | Ok c -> Format.pp_print_string ppf c.Circuit.name
+      | Error _ -> Format.pp_print_string ppf "?"
+    in
+    Arg.value
+      (Arg.pos 0
+         (Arg.some (Arg.conv (parse, print)))
+         None
+         (Arg.info [] ~docv:"CIRCUIT" ~doc:"Circuit to certify."))
+  in
+  Cmd.v
+    (Cmd.info "certify" ~exits:certify_exits
+       ~doc:"Prove truth-table rows symbolically, without simulating: \
+             an interval steady-state analysis bounds the output \
+             species for every input combination and rows whose bound \
+             clears the threshold (with a $(b,--margin) noise margin) \
+             are certified. Exits 0 when every row is proved and \
+             matches the intent, 1 on a proved contradiction, 3 when \
+             undecided rows remain.")
+    Term.(
+      term_result
+        (const run $ protocol_term $ margin_opt $ json_opt $ all_opt
+        $ metrics_opt $ circuit_opt))
 
 (* ---- ensemble ---- *)
 
@@ -1173,13 +1352,18 @@ module Serve = struct
             ~doc:"Give up waiting after this long (the job keeps \
                   running server-side)."))
 
-  (* The verdict is inside the stored document: ensemble.consensus_verified. *)
+  (* The verdict is the document's top-level "verified" (certified and
+     simulated jobs alike); documents stored before provenance existed
+     only carry the ensemble consensus. *)
   let verdict_of_document doc =
     match Json.parse doc with
     | Error _ -> None
-    | Ok v ->
-        Option.bind (Json.member v "ensemble") (fun e ->
-            Option.bind (Json.member e "consensus_verified") Json.to_bool)
+    | Ok v -> (
+        match Option.bind (Json.member v "verified") Json.to_bool with
+        | Some _ as b -> b
+        | None ->
+            Option.bind (Json.member v "ensemble") (fun e ->
+                Option.bind (Json.member e "consensus_verified") Json.to_bool))
 
   let finish_result (resp : W.response) =
     match resp.W.status with
@@ -1417,7 +1601,8 @@ let main =
              circuits (Baig & Madsen, DATE 2017).")
     [
       list_cmd; lint_cmd; synth_cmd; simulate_cmd; analyze_cmd;
-      verify_cmd; ensemble_cmd; threshold_cmd; delay_cmd; export_cmd;
+      verify_cmd; certify_cmd; ensemble_cmd; threshold_cmd; delay_cmd;
+      export_cmd;
       vcd_cmd; probe_cmd; sweep_cmd; robustness_cmd; Campaign.group;
       Serve.serve_cmd; Serve.submit_cmd; Serve.status_cmd;
       Serve.result_cmd; Serve.scrape_cmd;

@@ -8,6 +8,7 @@ module Cache = Glc_engine.Cache
 module Ensemble = Glc_engine.Ensemble
 module Stats = Glc_engine.Stats
 module Metrics = Glc_obs.Metrics
+module Certificate = Glc_symbolic.Certificate
 
 type progress = {
   p_completed : int;
@@ -49,12 +50,13 @@ let job_protocol (spec : Grid.spec) (job : Grid.job) =
         ~hold_time:spec.Grid.hold_time ~threshold:job.Grid.j_threshold
         ~input_high ()
 
-(* The stored document: the job's coordinates and seed, a top-level
-   fitness_mean convenience field, and the full deterministic ensemble
-   report. Byte-deterministic for a given (spec, job). *)
-let job_document ~seed (job : Grid.job) (t : Ensemble.t) =
+(* Every stored document opens with the same job-coordinate prefix and
+   carries the same provenance triple + top-level [verified] /
+   [fitness_mean] summary fields, whichever execution path produced
+   it — report readers never branch on the document's origin. *)
+let document_prefix ~seed (job : Grid.job) =
   Printf.sprintf
-    "{\"id\":%s,\"circuit\":%s,\"threshold\":%s,\"fov_ud\":%s,\"input_high\":%s,\"replicates\":%d,\"seed\":%d,\"fitness_mean\":%s,\"ensemble\":%s}"
+    "{\"id\":%s,\"circuit\":%s,\"threshold\":%s,\"fov_ud\":%s,\"input_high\":%s,\"replicates\":%d,\"seed\":%d"
     (Json.string (Grid.job_id job))
     (Json.string job.Grid.j_circuit)
     (Json.float job.Grid.j_threshold)
@@ -63,8 +65,39 @@ let job_document ~seed (job : Grid.job) (t : Ensemble.t) =
     | None -> "null"
     | Some h -> Json.float h)
     job.Grid.j_replicates seed
+
+(* The simulated document: coordinates, provenance (how many rows the
+   certificate settled before the ensemble ran), top-level verdict and
+   fitness_mean convenience fields, and the full deterministic ensemble
+   report. Byte-deterministic for a given (spec, job). *)
+let job_document ?certificate ~seed (job : Grid.job) (t : Ensemble.t) =
+  let certified_rows, total_rows =
+    match certificate with
+    | None -> (0, 0)
+    | Some c -> (Certificate.decided c, Certificate.rows c)
+  in
+  Printf.sprintf
+    "%s,\"provenance\":\"simulated\",\"certified_rows\":%d,\"total_rows\":%d,\"verified\":%s,\"fitness_mean\":%s,\"ensemble\":%s}"
+    (document_prefix ~seed job)
+    certified_rows total_rows
+    (Json.bool t.Ensemble.consensus_verified)
     (Json.float t.Ensemble.fitness.Stats.mean)
     (Ensemble.to_json t)
+
+(* The certified document: every row was proved symbolically, so there
+   is no ensemble — the certificate itself is the evidence. A proof
+   carries no sampling noise, so fitness_mean is a clean 100. *)
+let certified_document ~seed (job : Grid.job) (cert : Certificate.t) =
+  let verified =
+    match Certificate.verified cert with Some b -> b | None -> false
+  in
+  Printf.sprintf
+    "%s,\"provenance\":\"certified\",\"certified_rows\":%d,\"total_rows\":%d,\"verified\":%s,\"fitness_mean\":%s,\"certificate\":%s}"
+    (document_prefix ~seed job)
+    (Certificate.decided cert)
+    (Certificate.rows cert)
+    (Json.bool verified) (Json.float 100.)
+    (Certificate.to_json cert)
 
 let run_job ?metrics ~pool ~cache (spec : Grid.spec) (job : Grid.job) =
   match resolve job.Grid.j_circuit with
@@ -72,12 +105,20 @@ let run_job ?metrics ~pool ~cache (spec : Grid.spec) (job : Grid.job) =
   | Ok circuit ->
       let protocol = job_protocol spec job in
       let seed = Grid.job_seed ~seed:spec.Grid.seed job in
-      let cfg =
-        Ensemble.config ~replicates:job.Grid.j_replicates ~seed ~protocol
-          ~fov_ud:job.Grid.j_fov_ud ()
-      in
-      let t = Ensemble.run ~pool ~cache ?metrics cfg circuit in
-      job_document ~seed job t
+      (* symbolic fast path: a certificate that settles every row makes
+         the ensemble redundant — the job costs no simulation at all.
+         Otherwise the certificate still rides along in the document as
+         provenance for how much of the table was already settled. *)
+      let cert = Certificate.certify ?metrics ~protocol circuit in
+      if Certificate.fully_decided cert then
+        certified_document ~seed job cert
+      else
+        let cfg =
+          Ensemble.config ~replicates:job.Grid.j_replicates ~seed ~protocol
+            ~fov_ud:job.Grid.j_fov_ud ()
+        in
+        let t = Ensemble.run ~pool ~cache ?metrics cfg circuit in
+        job_document ~certificate:cert ~seed job t
 
 let null_progress (_ : progress) = ()
 

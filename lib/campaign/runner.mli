@@ -42,11 +42,23 @@ val job_protocol : Grid.spec -> Grid.job -> Glc_dvasim.Protocol.t
     job's threshold and (optional) input-high level. *)
 
 val job_document :
+  ?certificate:Glc_symbolic.Certificate.t ->
   seed:int -> Grid.job -> Glc_engine.Ensemble.t -> string
-(** The stored result document: the job's coordinates and seed, a
-    top-level [fitness_mean] convenience field, and the full
-    deterministic ensemble report. Byte-deterministic for a given
-    (job, seed, ensemble). *)
+(** The stored result document of a {e simulated} job: the job's
+    coordinates and seed, the provenance triple
+    ([provenance]:["simulated"], [certified_rows], [total_rows] — zero
+    when no [certificate] rode along), top-level [verified] and
+    [fitness_mean] convenience fields, and the full deterministic
+    ensemble report. Byte-deterministic for a given
+    (job, seed, certificate, ensemble). *)
+
+val certified_document :
+  seed:int -> Grid.job -> Glc_symbolic.Certificate.t -> string
+(** The stored result document of a job whose certificate settled every
+    truth-table row: [provenance] is ["certified"], there is no
+    [ensemble] member — the embedded [certificate] is the evidence —
+    and [fitness_mean] is a clean [100] (a proof carries no sampling
+    noise). [verified] is the certificate's own verdict. *)
 
 val run_job :
   ?metrics:Glc_obs.Metrics.t ->
@@ -56,8 +68,11 @@ val run_job :
   Grid.job ->
   string
 (** Executes one job — resolve the circuit, derive its content seed
-    ({!Grid.job_seed}), run the ensemble on [pool] through [cache] —
-    and returns its result document. This is the single execution path
+    ({!Grid.job_seed}), consult the symbolic analyser
+    ({!Glc_symbolic.Certificate.certify} under the job's protocol), and
+    only when rows remain undecided run the ensemble on [pool] through
+    [cache] — and returns its result document ({!certified_document} or
+    {!job_document} accordingly). This is the single execution path
     shared by campaign drains and the serve daemon, which is what makes
     a job's stored bytes identical however it was scheduled.
     @raise Failure on an unresolvable circuit (and whatever the

@@ -169,11 +169,14 @@ type job_line = {
   l_id : string;
   l_job : Grid.job;
   l_done : bool;
-  l_verified : bool;  (** consensus verified; false when not done *)
+  l_verified : bool;  (** job verdict; false when not done *)
   l_verified_count : int;
   l_completed : int;  (** replicates that finished *)
   l_failed : int;  (** replicates that crashed *)
   l_fitness_mean : float;  (** nan when not done *)
+  l_provenance : string;  (** "certified" / "simulated"; "-" when not done *)
+  l_certified_rows : int;  (** truth-table rows the certificate proved *)
+  l_total_rows : int;
 }
 
 let job_line t job =
@@ -188,6 +191,9 @@ let job_line t job =
       l_completed = 0;
       l_failed = 0;
       l_fitness_mean = nan;
+      l_provenance = "-";
+      l_certified_rows = 0;
+      l_total_rows = 0;
     }
   in
   match Option.map Json.parse (get t ~id) with
@@ -196,6 +202,7 @@ let job_line t job =
       (* summary numbers are parsed once and re-rendered with the same
          shortest-round-trip printer that produced them, so they pass
          through the store byte-identically *)
+      let top name conv = Option.bind (Json.member doc name) conv in
       let ens name conv =
         Option.bind (Json.member doc "ensemble") (fun e ->
             Option.bind (Json.member e name) conv)
@@ -205,14 +212,24 @@ let job_line t job =
         absent with
         l_done = true;
         l_verified =
-          Option.value ~default:false
-            (ens "consensus_verified" Json.to_bool);
+          (* top-level verdict; documents stored before provenance
+             existed only carry the ensemble consensus *)
+          (match top "verified" Json.to_bool with
+          | Some b -> b
+          | None ->
+              Option.value ~default:false
+                (ens "consensus_verified" Json.to_bool));
         l_verified_count = int "verified_count";
         l_completed = int "completed";
         l_failed = int "failed";
         l_fitness_mean =
-          Option.value ~default:nan
-            (Option.bind (Json.member doc "fitness_mean") Json.to_number);
+          Option.value ~default:nan (top "fitness_mean" Json.to_number);
+        l_provenance =
+          Option.value ~default:"simulated" (top "provenance" Json.to_str);
+        l_certified_rows =
+          Option.value ~default:0 (top "certified_rows" Json.to_int);
+        l_total_rows =
+          Option.value ~default:0 (top "total_rows" Json.to_int);
       }
 
 let lines t (spec : Grid.spec) =
@@ -257,7 +274,8 @@ let report_json t (spec : Grid.spec) =
       else
         add
           (Printf.sprintf
-             "\"status\":\"done\",\"verified\":%s,\"verified_count\":%d,\"completed\":%d,\"failed\":%d,\"fitness_mean\":%s}"
+             "\"status\":\"done\",\"provenance\":%s,\"certified_rows\":%d,\"total_rows\":%d,\"verified\":%s,\"verified_count\":%d,\"completed\":%d,\"failed\":%d,\"fitness_mean\":%s}"
+             (Json.string l.l_provenance) l.l_certified_rows l.l_total_rows
              (Json.bool l.l_verified) l.l_verified_count l.l_completed
              l.l_failed
              (Json.float l.l_fitness_mean)))
@@ -275,11 +293,11 @@ let pp_report ppf (t, (spec : Grid.spec)) =
     (dir t) (List.length ls) done_count
     (List.length ls - done_count)
     verified spec.Grid.seed;
-  Format.fprintf ppf "%-14s %9s %6s %8s %5s %-9s %8s@," "circuit"
-    "threshold" "fov" "high" "reps" "status" "fitness";
+  Format.fprintf ppf "%-14s %9s %6s %8s %5s %-9s %-10s %5s %8s@," "circuit"
+    "threshold" "fov" "high" "reps" "status" "source" "cert" "fitness";
   List.iter
     (fun l ->
-      Format.fprintf ppf "%-14s %9g %6g %8s %5d %-9s %8s@,"
+      Format.fprintf ppf "%-14s %9g %6g %8s %5d %-9s %-10s %5s %8s@,"
         l.l_job.Grid.j_circuit l.l_job.Grid.j_threshold
         l.l_job.Grid.j_fov_ud
         (match l.l_job.Grid.j_input_high with
@@ -289,6 +307,10 @@ let pp_report ppf (t, (spec : Grid.spec)) =
         (if not l.l_done then "missing"
          else if l.l_verified then "VERIFIED"
          else "WRONG")
+        l.l_provenance
+        (if l.l_done && l.l_total_rows > 0 then
+           Printf.sprintf "%d/%d" l.l_certified_rows l.l_total_rows
+         else "-")
         (if l.l_done then Printf.sprintf "%.2f%%" l.l_fitness_mean
          else "-"))
     ls;

@@ -91,11 +91,19 @@ type job_line = {
   l_id : string;
   l_job : Grid.job;
   l_done : bool;
-  l_verified : bool;  (** consensus verified; false when not done *)
+  l_verified : bool;
+      (** the document's top-level verdict (a certificate's proof or
+          the ensemble consensus; older documents fall back to
+          [ensemble.consensus_verified]); false when not done *)
   l_verified_count : int;
   l_completed : int;  (** replicates that finished *)
   l_failed : int;  (** replicates that crashed *)
   l_fitness_mean : float;  (** nan when not done *)
+  l_provenance : string;
+      (** ["certified"] (symbolically proved, no ensemble) or
+          ["simulated"]; ["-"] when not done *)
+  l_certified_rows : int;  (** truth-table rows the certificate proved *)
+  l_total_rows : int;  (** 0 on documents stored before provenance *)
 }
 
 val lines : t -> Grid.spec -> job_line list

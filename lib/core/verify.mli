@@ -25,6 +25,49 @@ val experiment :
 (** Runs the analysis on an experiment and verifies it against the
     circuit's expected table. *)
 
+(** {2 Certified-first verification}
+
+    The symbolic analyser ({!Glc_symbolic.Certificate}) is consulted
+    before any trajectory is sampled; rows it proves are taken on its
+    word and only the undecided remainder is simulated — the
+    row-restricted stimulus gives each of them the per-row slot budget
+    of a full run. A fully certified circuit costs no simulation at
+    all. *)
+
+(** Where a row's verdict came from. *)
+type provenance = Certified | Simulated
+
+type hybrid = {
+  h_certificate : Glc_symbolic.Certificate.t;
+  h_result : Analyzer.result option;
+      (** the row-restricted stochastic analysis; [None] when the
+          certificate decided every row *)
+  h_provenance : provenance array;  (** indexed by combination *)
+  h_simulated_rows : int list;  (** the certificate's undecided rows *)
+  h_report : report;
+      (** certified verdicts and simulated extractions merged against
+          the intent; [fitness] is 100 for a fully certified run,
+          otherwise the simulated slice's PFoBE *)
+}
+
+val certified_first :
+  ?params:Analyzer.params ->
+  ?margin:float ->
+  ?max_iters:int ->
+  ?metrics:Glc_obs.Metrics.t ->
+  ?protocol:Glc_dvasim.Protocol.t ->
+  Glc_gates.Circuit.t ->
+  hybrid
+(** Certify, then simulate only what is left. The analyser threshold
+    follows the protocol; [margin] and [max_iters] are passed to
+    {!Glc_symbolic.Certificate.certify}. Records the
+    [symbolic.fallback_simulations] and [symbolic.fallback_rows]
+    counters (next to the certificate's own [symbolic.*] counters) on
+    [metrics]. *)
+
+val provenance_string : provenance -> string
+(** ["certified"] / ["simulated"]. *)
+
 (** Why a combination came out wrong — each maps to a concrete remedy. *)
 type cause =
   | Unobserved

@@ -9,12 +9,12 @@ type t = {
   trace : Trace.t;
 }
 
-let stimulus (p : Protocol.t) ~inputs =
+let stimulus_for (p : Protocol.t) ~inputs ~row_of slots =
   let arity = Array.length inputs in
   let events = ref [] in
-  for slot = 0 to Protocol.slots p - 1 do
+  for slot = 0 to slots - 1 do
     let t = float_of_int slot *. p.hold_time in
-    let row = Protocol.row_of_slot p ~arity slot in
+    let row = row_of slot in
     Array.iteri
       (fun j species ->
         let v =
@@ -25,6 +25,28 @@ let stimulus (p : Protocol.t) ~inputs =
       inputs
   done;
   Events.of_list !events
+
+let stimulus (p : Protocol.t) ~inputs =
+  let arity = Array.length inputs in
+  stimulus_for p ~inputs
+    ~row_of:(fun slot -> Protocol.row_of_slot p ~arity slot)
+    (Protocol.slots p)
+
+let stimulus_rows (p : Protocol.t) ~inputs ~rows slots =
+  let m = Array.length rows in
+  if m = 0 then invalid_arg "Experiment.stimulus_rows: no rows";
+  stimulus_for p ~inputs ~row_of:(fun slot -> rows.(slot mod m)) slots
+
+let run_trace_rows ?metrics ~protocol ~inputs ~rows slots model =
+  if slots <= 0 then invalid_arg "Experiment.run_trace_rows: slots <= 0";
+  let events = stimulus_rows protocol ~inputs ~rows slots in
+  let cfg =
+    Sim.config ~dt:protocol.Protocol.dt ~seed:protocol.Protocol.seed
+      ~algorithm:protocol.Protocol.algorithm
+      ~t_end:(float_of_int slots *. protocol.Protocol.hold_time)
+      ()
+  in
+  Sim.run ~events ?metrics cfg model
 
 let input_schedule (p : Protocol.t) (circuit : Circuit.t) =
   stimulus p ~inputs:circuit.Circuit.inputs

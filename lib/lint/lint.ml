@@ -7,6 +7,7 @@ module Protocol = Glc_dvasim.Protocol
 module Truth_table = Glc_logic.Truth_table
 module Netlist = Glc_logic.Netlist
 module Metrics = Glc_obs.Metrics
+module Interval = Glc_symbolic.Interval
 module D = Diagnostic
 
 type check = {
@@ -134,10 +135,13 @@ let record metrics ~checks ds =
    species (the virtual laboratory may drive them) and positive initial
    amounts; a reaction is fireable once every reactant may be positive
    and its propensity is not provably zero, and firing makes its
-   products reachable. Zero-propagation over the kinetic law is
-   conservative: [Zero] means "identically zero whatever the unknowns
-   do", anything else is "maybe positive" (propensities are clamped at
-   zero by the simulator, so min/0 counts as zero). *)
+   products reachable. Zero-propagation over the kinetic law is the
+   degenerate [0,0] case of the symbolic interval domain
+   ({!Glc_symbolic.Interval}): a stuck species is exactly [0,0], a
+   maybe-positive species any admissible amount, a parameter its point
+   value — a propensity is provably zero iff its interval is [0,0]
+   whatever the maybe-positive species do (the domain's [0/0 = 0]
+   convention matches the simulator clamping propensities at zero). *)
 
 let reachability (m : Model.t) =
   let positive = Hashtbl.create 16 in
@@ -146,29 +150,16 @@ let reachability (m : Model.t) =
       if s.s_boundary || s.s_initial > 0. then
         Hashtbl.replace positive s.s_id ())
     m.m_species;
-  let rec zero = function
-    | Math.Const c -> c = 0.
-    | Math.Ident id -> (
-        match Model.parameter_value m id with
-        | Some v -> v = 0.
-        | None -> not (Hashtbl.mem positive id))
-    | Math.Neg a -> zero a
-    | Math.Add (a, b) | Math.Sub (a, b) -> zero a && zero b
-    | Math.Mul (a, b) -> zero a || zero b
-    | Math.Div (a, _) -> zero a
-    | Math.Pow (a, b) -> zero a && positive_exponent b
-    | Math.Min (a, b) -> zero a || zero b
-    | Math.Max (a, b) -> zero a && zero b
-    | Math.Exp _ | Math.Ln _ -> false
-  and positive_exponent = function
-    (* 0^e is zero only for a provably positive exponent (0^0 = 1) *)
-    | Math.Const c -> c > 0.
-    | Math.Ident id -> (
-        match Model.parameter_value m id with
-        | Some v -> v > 0.
-        | None -> false)
-    | _ -> false
+  (* the closure reads [positive] live, so the interval environment
+     sharpens as the fixed point grows — exactly like the bespoke
+     zero-propagation predicate it replaces *)
+  let lookup id =
+    match Model.parameter_value m id with
+    | Some v -> Interval.point v
+    | None ->
+        if Hashtbl.mem positive id then Interval.top else Interval.zero
   in
+  let zero e = Interval.is_zero (Interval.eval ~lookup e) in
   let enabled = Hashtbl.create 16 in
   let changed = ref true in
   while !changed do

@@ -1,0 +1,125 @@
+module Math = Glc_model.Math
+
+type t = { lo : float; hi : float }
+
+let full = { lo = Float.neg_infinity; hi = Float.infinity }
+
+(* -0. folds into 0. so [is_zero] and printed bounds are canonical *)
+let norm x = if x = 0. then 0. else x
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi then full
+  else if lo > hi then invalid_arg "Interval.make: lo > hi"
+  else { lo = norm lo; hi = norm hi }
+
+let point v = make v v
+let zero = { lo = 0.; hi = 0. }
+let one = { lo = 1.; hi = 1. }
+let top = { lo = 0.; hi = Float.infinity }
+let lo t = t.lo
+let hi t = t.hi
+let is_zero t = t.lo = 0. && t.hi = 0.
+let is_point t = t.lo = t.hi
+let is_finite t = Float.is_finite t.lo && Float.is_finite t.hi
+let contains t v = if Float.is_nan v then t == full else t.lo <= v && v <= t.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let meet a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo > hi then None else Some { lo = norm lo; hi = norm hi }
+
+let meet_sound old_ new_ =
+  match meet old_ new_ with Some m -> m | None -> old_
+
+let widen a b =
+  {
+    lo = (if b.lo < a.lo then Float.neg_infinity else a.lo);
+    hi = (if b.hi > a.hi then Float.infinity else a.hi);
+  }
+
+(* Adjacent floats via the IEEE bit order: for positive floats the
+   integer successor of the bit pattern is the next float up; OCaml has
+   no nextafter, so we walk the Int64 image directly. *)
+let next_up x =
+  if Float.is_nan x || x = Float.infinity then x
+  else if x = 0. then Int64.float_of_bits 1L (* smallest subnormal *)
+  else
+    let b = Int64.bits_of_float x in
+    Int64.float_of_bits (if x > 0. then Int64.add b 1L else Int64.sub b 1L)
+
+let next_down x = -.next_up (-.x)
+
+let neg t = { lo = norm (-.t.hi); hi = norm (-.t.lo) }
+let add a b = make (a.lo +. b.lo) (a.hi +. b.hi)
+let sub a b = make (a.lo -. b.hi) (a.hi -. b.lo)
+
+(* corner evaluation: IEEE rounding is monotone, so the extreme float
+   results over the box are attained at corners; [specials] patches the
+   corner product 0 * inf (NaN in IEEE, 0 by interval convention) *)
+let corners op a b =
+  let c1 = op a.lo b.lo
+  and c2 = op a.lo b.hi
+  and c3 = op a.hi b.lo
+  and c4 = op a.hi b.hi in
+  make
+    (Float.min (Float.min c1 c2) (Float.min c3 c4))
+    (Float.max (Float.max c1 c2) (Float.max c3 c4))
+
+let mul =
+  let mulc x y = if x = 0. || y = 0. then 0. else x *. y in
+  fun a b -> corners mulc a b
+
+let div a b =
+  if is_zero a then zero (* clamped-propensity convention, see .mli *)
+  else if b.lo < 0. && b.hi > 0. then full
+    (* a zero interior to the denominator reaches both infinities *)
+  else corners ( /. ) a b
+
+(* outward one-ulp widening for the faithfully-rounded libm functions;
+   a point argument pair is one concrete operation and stays exact *)
+let outward ~nonneg exact t =
+  if exact then t
+  else
+    let lo = next_down t.lo and hi = next_up t.hi in
+    make (if nonneg then Float.max 0. lo else lo) hi
+
+let pow a b =
+  if a.lo < 0. then full (* Float.pow is NaN off integral exponents *)
+  else
+    let r = corners Float.pow a b in
+    (* Float.pow on a non-negative base is >= 0 at every corner, but a
+       NaN corner (none remain once a.lo >= 0) would have given [full];
+       only widen genuine boxes *)
+    outward ~nonneg:true (is_point a && is_point b) r
+
+let min a b = make (Float.min a.lo b.lo) (Float.min a.hi b.hi)
+let max a b = make (Float.max a.lo b.lo) (Float.max a.hi b.hi)
+
+let exp a = outward ~nonneg:true (is_point a) (make (Float.exp a.lo) (Float.exp a.hi))
+
+let ln a =
+  if a.lo < 0. then full
+  else outward ~nonneg:false (is_point a) (make (Float.log a.lo) (Float.log a.hi))
+
+let rec eval ~lookup = function
+  | Math.Const c -> point c
+  | Math.Ident x -> lookup x
+  | Math.Neg a -> neg (eval ~lookup a)
+  | Math.Add (a, b) -> add (eval ~lookup a) (eval ~lookup b)
+  | Math.Sub (a, b) -> sub (eval ~lookup a) (eval ~lookup b)
+  | Math.Mul (a, b) -> mul (eval ~lookup a) (eval ~lookup b)
+  | Math.Div (a, b) -> div (eval ~lookup a) (eval ~lookup b)
+  | Math.Pow (a, b) -> pow (eval ~lookup a) (eval ~lookup b)
+  | Math.Min (a, b) -> min (eval ~lookup a) (eval ~lookup b)
+  | Math.Max (a, b) -> max (eval ~lookup a) (eval ~lookup b)
+  | Math.Exp a -> exp (eval ~lookup a)
+  | Math.Ln a -> ln (eval ~lookup a)
+
+let pp ppf t =
+  if is_point t then Format.fprintf ppf "[%g]" t.lo
+  else Format.fprintf ppf "[%g, %g]" t.lo t.hi
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,127 @@
+(** Interval arithmetic over kinetic-law expressions.
+
+    The abstract domain of the symbolic verifier: a value is a closed
+    interval [[lo, hi]] of floats (endpoints may be infinite, never
+    NaN). The concrete semantics being abstracted is {!Glc_model.Math.eval}
+    — IEEE double evaluation, not real arithmetic — which is what both
+    the SSA and ODE engines execute.
+
+    {2 Soundness and rounding}
+
+    For the correctly-rounded operations ([+ - * /], [min], [max],
+    negation) corner evaluation is exact: IEEE rounding is monotone, so
+    the float image of a box is bounded by the float values at its
+    corners, and no outward rounding is needed. [Pow], [Exp] and [Ln]
+    are only faithfully rounded by libm with no monotonicity guarantee,
+    so their non-degenerate results are widened outward by one ulp
+    ({!next_down}/{!next_up}); a degenerate (point) argument is a single
+    concrete operation and stays exact.
+
+    Two deliberate conventions, both documented where they matter:
+    {ul
+    {- [0 * inf = 0] (the standard interval convention) — sound for
+       models whose concrete evaluation stays finite; an unbounded rate
+       already tops the affected species in {!Steady_state};}
+    {- [[0,0] / d = [0,0]] whatever [d] — the simulator clamps
+       propensities at zero, so a identically-zero numerator means the
+       reaction never fires even when the denominator can vanish. This
+       matches (and now implements) glc_lint's zero-propagation.}}
+
+    Any corner that still evaluates to NaN (e.g. a negative base under a
+    non-integral power) returns {!full} — "no information, the concrete
+    value may even be NaN" — which proves nothing downstream. *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi]. NaN endpoints give {!full}; [-0.] is normalised to
+    [0.].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val point : float -> t
+(** The degenerate interval [[v, v]] ({!full} for NaN). *)
+
+val zero : t
+(** [[0, 0]]. *)
+
+val one : t
+(** [[1, 1]]. *)
+
+val top : t
+(** [[0, +inf)] — every admissible molecule count. *)
+
+val full : t
+(** [(-inf, +inf)] — no information at all. *)
+
+val lo : t -> float
+val hi : t -> float
+
+val is_zero : t -> bool
+(** [[0, 0]] exactly — the degenerate case glc_lint's zero-propagation
+    keys on. *)
+
+val is_point : t -> bool
+val is_finite : t -> bool
+(** Both endpoints finite. *)
+
+val contains : t -> float -> bool
+(** NaN is contained only in {!full}. *)
+
+val subset : t -> t -> bool
+(** [subset a b] — [a] included in [b]. *)
+
+val equal : t -> t -> bool
+val join : t -> t -> t
+(** Smallest interval containing both — the lattice join. *)
+
+val meet : t -> t -> t option
+(** Intersection; [None] when disjoint. *)
+
+val meet_sound : t -> t -> t
+(** [meet_sound old_ new_] is the intersection, falling back to [old_]
+    if floating-point drift ever made the two disjoint. Used by the
+    descending fixpoint iteration, where both arguments are sound
+    enclosures of the same concrete value, so a genuine empty meet
+    cannot occur. *)
+
+val widen : t -> t -> t
+(** [widen a b] jumps any endpoint of [b] that escapes [a] straight to
+    its infinity, guaranteeing an ascending chain stabilises in at most
+    two steps per bound. The steady-state engine iterates downward from
+    {!top} (every concrete fixed point lies in each descending iterate),
+    so widening is only its safety valve, but the operator is part of
+    the domain. *)
+
+val next_up : float -> float
+(** Smallest float strictly above the argument (identity on [+inf] and
+    NaN). *)
+
+val next_down : float -> float
+(** Largest float strictly below the argument. *)
+
+(** {2 Arithmetic} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val pow : t -> t -> t
+val min : t -> t -> t
+val max : t -> t -> t
+val exp : t -> t
+val ln : t -> t
+
+val eval : lookup:(string -> t) -> Glc_model.Math.t -> t
+(** Abstract counterpart of {!Glc_model.Math.eval}: evaluates a
+    kinetic-law expression with identifiers resolved to intervals.
+    Sound on the finite fragment: for every assignment [v] with [v x]
+    in [lookup x] for all identifiers, if every intermediate result of
+    [Math.eval ~lookup:v e] is finite then the value lies in
+    [eval ~lookup e] (QCheck-tested in [test_symbolic.ml]). Beyond that
+    fragment the two conventions above can collapse an overflowing
+    evaluation to [[0, 0]] — kinetic laws (Hill functions over bounded
+    amounts) never leave it. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,149 @@
+module Model = Glc_model.Model
+module Math = Glc_model.Math
+
+type t = {
+  ss_bounds : (string * Interval.t) list;
+  ss_iterations : int;
+  ss_converged : bool;
+  ss_free : string list;
+}
+
+(* [linear_coeff x rate] factors [rate] as [coeff * x], returning the
+   coefficient expression. The coefficient may itself mention [x]
+   (evaluated over the environment, which is sound); what matters is
+   that the whole rate vanishes linearly with [x], so production/decay
+   balance can be solved for [x]. *)
+let rec linear_coeff x = function
+  | Math.Ident y when String.equal y x -> Some (Math.Const 1.)
+  | Math.Mul (a, b) -> (
+      match linear_coeff x b with
+      | Some (Math.Const 1.) -> Some a
+      | Some c -> Some (Math.Mul (a, c))
+      | None -> (
+          match linear_coeff x a with
+          | Some (Math.Const 1.) -> Some b
+          | Some c -> Some (Math.Mul (c, b))
+          | None -> None))
+  | Math.Div (a, b) -> (
+      match linear_coeff x a with
+      | Some c -> Some (Math.Div (c, b))
+      | None -> None)
+  | _ -> None
+
+let net_delta (r : Model.reaction) id =
+  let sum sign acc l =
+    List.fold_left
+      (fun acc (i, st) -> if String.equal i id then acc + (sign * st) else acc)
+      acc l
+  in
+  sum 1 (sum (-1) 0 r.Model.r_reactants) r.Model.r_products
+
+(* the one-species transfer: production mass over decay coefficient *)
+type solved = {
+  sp_id : string;
+  sp_initial : float;
+  sp_prods : (float * Math.t) list; (* delta, rate *)
+  sp_decay : (float * Math.t) list; (* |delta|, coefficient *)
+}
+
+let analyse ?(max_iters = 200) ?(inputs = []) (m : Model.t) =
+  let bounds : (string, Interval.t) Hashtbl.t = Hashtbl.create 16 in
+  let free = ref [] in
+  let solved = ref [] in
+  List.iter
+    (fun (s : Model.species) ->
+      if s.Model.s_boundary then
+        let iv =
+          match List.assoc_opt s.Model.s_id inputs with
+          | Some iv -> iv
+          | None -> Interval.point s.Model.s_initial
+        in
+        Hashtbl.replace bounds s.Model.s_id iv
+      else begin
+        let x = s.Model.s_id in
+        let prods = ref [] and decay = ref [] and supported = ref true in
+        List.iter
+          (fun (r : Model.reaction) ->
+            let d = net_delta r x in
+            if d > 0 then
+              prods := (float_of_int d, r.Model.r_rate) :: !prods
+            else if d < 0 then
+              match linear_coeff x r.Model.r_rate with
+              | Some c -> decay := (float_of_int (-d), c) :: !decay
+              | None -> supported := false)
+          m.Model.m_reactions;
+        if not !supported then begin
+          free := x :: !free;
+          Hashtbl.replace bounds x Interval.top
+        end
+        else if !prods = [] && !decay = [] then
+          (* untouched by any reaction: pinned at its initial amount *)
+          Hashtbl.replace bounds x (Interval.point s.Model.s_initial)
+        else begin
+          solved :=
+            {
+              sp_id = x;
+              sp_initial = s.Model.s_initial;
+              sp_prods = List.rev !prods;
+              sp_decay = List.rev !decay;
+            }
+            :: !solved;
+          Hashtbl.replace bounds x Interval.top
+        end
+      end)
+    m.Model.m_species;
+  let solved = List.rev !solved in
+  let lookup id =
+    match Hashtbl.find_opt bounds id with
+    | Some iv -> iv
+    | None -> (
+        match Model.parameter_value m id with
+        | Some v -> Interval.point v
+        | None -> Interval.full)
+  in
+  let mass terms =
+    List.fold_left
+      (fun acc (d, e) ->
+        Interval.add acc (Interval.mul (Interval.point d) (Interval.eval ~lookup e)))
+      Interval.zero terms
+  in
+  let iters = ref 0 and stable = ref false in
+  while (not !stable) && !iters < max_iters do
+    incr iters;
+    stable := true;
+    List.iter
+      (fun sp ->
+        let old_ = Hashtbl.find bounds sp.sp_id in
+        let p = mass sp.sp_prods and c = mass sp.sp_decay in
+        (* the division below reads 0/0 as 0 (the lint convention),
+           which here would claim "no production, no certain decay"
+           settles at zero — but such a species can be stuck at its
+           initial amount. Handle the degenerate decays explicitly. *)
+        let nv =
+          if Interval.is_zero c then
+            if Interval.is_zero p then Interval.point sp.sp_initial
+            else old_ (* production with no decay: unbounded growth *)
+          else if Interval.is_zero p && Interval.contains c 0. then old_
+          else Interval.meet_sound old_ (Interval.div p c)
+        in
+        if not (Interval.equal nv old_) then begin
+          Hashtbl.replace bounds sp.sp_id nv;
+          stable := false
+        end)
+      solved
+  done;
+  {
+    ss_bounds =
+      List.map
+        (fun (s : Model.species) ->
+          (s.Model.s_id, Hashtbl.find bounds s.Model.s_id))
+        m.Model.m_species;
+    ss_iterations = !iters;
+    ss_converged = !stable;
+    ss_free = List.rev !free;
+  }
+
+let bound t id =
+  match List.assoc_opt id t.ss_bounds with
+  | Some iv -> iv
+  | None -> Interval.full

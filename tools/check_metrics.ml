@@ -40,7 +40,8 @@ let member v key =
 
 let usage () =
   prerr_endline
-    "usage: check_metrics [--text] FILE [--max COUNTER=CEILING]...";
+    "usage: check_metrics [--text] [--no-ensemble] FILE [--max \
+     COUNTER=CEILING]...";
   exit 2
 
 let parse_max spec =
@@ -55,7 +56,7 @@ let parse_max spec =
 
 (* ---- JSON mode ---- *)
 
-let check_json path text maxes =
+let check_json ?(ensemble = true) path text maxes =
   let doc =
     match Json.parse text with
     | Ok doc -> doc
@@ -69,21 +70,24 @@ let check_json path text maxes =
   let spans = member timings "spans" in
   ignore (member spans "dropped");
   ignore (member spans "events");
-  (* counters an ensemble run must have recorded *)
-  List.iter
-    (fun key ->
-      match Json.to_int (member counters key) with
-      | Some n when n >= 0 -> ()
-      | Some _ -> fail "counter %S is negative" key
-      | None -> fail "counter %S is not an integer" key)
-    [
-      "ssa.reactions_fired";
-      "ssa.propensity_evals";
-      "ssa.trace_samples";
-      "engine.seeds_derived";
-      "engine.replicates_ok";
-      "pool.tasks";
-    ];
+  (* counters an ensemble run must have recorded; --no-ensemble skips
+     them for exports from commands that need not simulate at all
+     (e.g. a certified-first verify) *)
+  if ensemble then
+    List.iter
+      (fun key ->
+        match Json.to_int (member counters key) with
+        | Some n when n >= 0 -> ()
+        | Some _ -> fail "counter %S is negative" key
+        | None -> fail "counter %S is not an integer" key)
+      [
+        "ssa.reactions_fired";
+        "ssa.propensity_evals";
+        "ssa.trace_samples";
+        "engine.seeds_derived";
+        "engine.replicates_ok";
+        "pool.tasks";
+      ];
   List.iter
     (fun (key, ceiling) ->
       match Json.to_int (member counters key) with
@@ -159,19 +163,22 @@ let check_text path text maxes =
     (Hashtbl.length samples)
 
 let () =
-  let path, maxes, text_mode =
-    let rec parse path maxes text_mode = function
-      | [] -> (path, List.rev maxes, text_mode)
-      | "--text" :: rest -> parse path maxes true rest
+  let path, maxes, text_mode, ensemble =
+    let rec parse path maxes text_mode ensemble = function
+      | [] -> (path, List.rev maxes, text_mode, ensemble)
+      | "--text" :: rest -> parse path maxes true ensemble rest
+      | "--no-ensemble" :: rest -> parse path maxes text_mode false rest
       | "--max" :: spec :: rest ->
-          parse path (parse_max spec :: maxes) text_mode rest
-      | p :: rest when path = None -> parse (Some p) maxes text_mode rest
+          parse path (parse_max spec :: maxes) text_mode ensemble rest
+      | p :: rest when path = None ->
+          parse (Some p) maxes text_mode ensemble rest
       | _ -> usage ()
     in
-    match parse None [] false (List.tl (Array.to_list Sys.argv)) with
-    | Some path, maxes, text_mode -> (path, maxes, text_mode)
-    | None, _, _ -> usage ()
+    match parse None [] false true (List.tl (Array.to_list Sys.argv)) with
+    | Some path, maxes, text_mode, ensemble ->
+        (path, maxes, text_mode, ensemble)
+    | None, _, _, _ -> usage ()
   in
   let text = try read_file path with Sys_error m -> fail "%s" m in
   if text_mode then check_text path text maxes
-  else check_json path text maxes
+  else check_json ~ensemble path text maxes
