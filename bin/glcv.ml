@@ -152,8 +152,26 @@ let gray_opt =
           ~doc:"Sequence the input combinations in Gray-code order (one \
                 input changes per step) instead of counting order."))
 
+let eval_opt =
+  let conv =
+    Arg.enum
+      [ ("ir", Glc_ssa.Compiled.Ir); ("ast", Glc_ssa.Compiled.Ast) ]
+  in
+  Arg.value
+    (Arg.opt conv Glc_ssa.Compiled.Ir
+       (Arg.info [ "eval" ] ~docv:"EVAL"
+          ~doc:"Kinetic-law evaluator: $(b,ir) (flat compiled \
+                instruction arrays, the default) or $(b,ast) (the \
+                reference tree-walking evaluator). Both produce \
+                byte-identical traces for a fixed seed; $(b,ast) exists \
+                as the differential-testing reference."))
+
 let protocol_term =
-  let make threshold total hold seed algorithm gray =
+  let make threshold total hold seed algorithm gray eval =
+    (* the evaluator is process-wide configuration: set it here, before
+       any command simulates or spawns worker domains, so every
+       Compiled.compile in the process inherits it *)
+    Glc_ssa.Compiled.set_default_path eval;
     Protocol.make ~total_time:total ~hold_time:hold ~threshold ~seed
       ~algorithm
       ~order:(if gray then Protocol.Gray else Protocol.Counting)
@@ -161,7 +179,7 @@ let protocol_term =
   in
   Term.(
     const make $ threshold_opt $ total_opt $ hold_opt $ seed_opt
-    $ algorithm_opt $ gray_opt)
+    $ algorithm_opt $ gray_opt $ eval_opt)
 
 (* ---- observability (--metrics) ---- *)
 

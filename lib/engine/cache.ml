@@ -69,6 +69,7 @@ type t = {
   table : (string, Compiled.t) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  metrics : Metrics.t; (* forwarded to Compiled.compile for ssa.ir.* *)
   obs_hits : Metrics.Counter.t;
   obs_misses : Metrics.Counter.t;
 }
@@ -79,6 +80,7 @@ let create ?(metrics = Metrics.noop) () =
     table = Hashtbl.create 16;
     hits = 0;
     misses = 0;
+    metrics;
     obs_hits = Metrics.counter metrics "engine.cache_hits";
     obs_misses = Metrics.counter metrics "engine.cache_misses";
   }
@@ -96,7 +98,7 @@ let compiled t ~key build =
       | None ->
           t.misses <- t.misses + 1;
           Metrics.Counter.incr t.obs_misses;
-          let c = Compiled.compile (build ()) in
+          let c = Compiled.compile ~metrics:t.metrics (build ()) in
           Hashtbl.add t.table key c;
           c)
 

@@ -84,13 +84,29 @@ let rec equal a b =
       _ ) ->
       false
 
+(* Shortest decimal rendering that reads back as the same float: plain
+   %g keeps 6 significant digits and loses the low bits of most
+   doubles, so printing then parsing would change the law. *)
+let float_repr c =
+  let s = Printf.sprintf "%.12g" c in
+  if float_of_string s = c then s
+  else
+    let s = Printf.sprintf "%.15g" c in
+    if float_of_string s = c then s else Printf.sprintf "%.17g" c
+
 (* Precedence levels: Add/Sub 1, Mul/Div 2, unary 3, Pow 4, atoms 5. *)
 let rec pp_prec prec ppf e =
   let paren p body =
     if prec > p then Format.fprintf ppf "(%t)" body else body ppf
   in
   match e with
-  | Const c -> Format.fprintf ppf "%g" c
+  | Const c when Float.sign_bit c ->
+      (* A negative (or negative-zero) literal carries a leading minus,
+         so it binds exactly like [Neg]: without this [Pow (Const
+         (-3.), x)] would print as [-3^x], which re-reads as
+         [-(3^x)] — a different expression. *)
+      paren 3 (fun ppf -> Format.pp_print_string ppf (float_repr c))
+  | Const c -> Format.pp_print_string ppf (float_repr c)
   | Ident x -> Format.pp_print_string ppf x
   | Neg a -> paren 3 (fun ppf -> Format.fprintf ppf "-%a" (pp_prec 3) a)
   | Add (a, b) ->

@@ -53,7 +53,11 @@ val equal : t -> t -> bool
 (** Structural equality. *)
 
 val pp : Format.formatter -> t -> unit
-(** Infix rendering with minimal parentheses. *)
+(** Infix rendering with minimal parentheses. Constants print with the
+    shortest decimal that reads back as the same double (never plain
+    [%g], which drops low bits); negative constants parenthesise like
+    {!Neg} wherever a unary minus would bind differently (e.g.
+    [Pow (Const (-3.), x)] renders as [(-3)^x], not [-3^x]). *)
 
 val to_string : t -> string
 
@@ -61,6 +65,11 @@ val of_string : string -> (t, string) result
 (** Parses infix kinetic laws: numbers (including scientific notation),
     identifiers, [+ - * / ^], unary minus, parentheses, and the
     functions [min(a, b)], [max(a, b)], [exp(a)], [ln(a)]. [^] is
-    right-associative and binds tighter than unary minus, as in {!pp}
-    ([of_string (to_string e)] re-reads an equivalent expression,
-    tested). *)
+    right-associative and binds tighter than unary minus, as in {!pp}.
+
+    [of_string (to_string e)] re-reads [e] up to the representation of
+    negative constants: the grammar has no signed literals, so a
+    [Const c] with the sign bit set comes back as [Neg (Const (-. c))]
+    (bit-identical value, tested by a QCheck property in [test_model]).
+    Non-finite constants do not survive the trip — [nan]/[inf] render
+    as words the parser reads as identifiers. *)

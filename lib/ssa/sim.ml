@@ -84,6 +84,7 @@ let select a target =
    run — the inner loops never touch an atomic or a clock. *)
 type tot = {
   mutable n_evals : int; (* propensity evaluations *)
+  mutable n_instrs : int; (* IR instructions those evaluations executed *)
   mutable n_heap : int; (* indexed-heap updates (next-reaction) *)
   mutable n_obs : int; (* recorder observations *)
 }
@@ -104,13 +105,15 @@ let run_direct ~sparse rng (c : Compiled.t) cfg events recorder tot =
   let fired = ref 0 and applied = ref 0 in
   let n_r = Array.length c.c_reactions in
   let a = Array.make n_r 0. in
+  let regs = Compiled.make_regs c in
   let observe t =
     tot.n_obs <- tot.n_obs + 1;
     Trace.Recorder.observe recorder t state
   in
   let refresh_all () =
-    Compiled.propensities_into c state a;
-    tot.n_evals <- tot.n_evals + n_r
+    Compiled.propensities_into_in c ~regs state a;
+    tot.n_evals <- tot.n_evals + n_r;
+    tot.n_instrs <- tot.n_instrs + Compiled.eval_cost c
   in
   let rec loop t events =
     if t < cfg.t_end then begin
@@ -146,9 +149,11 @@ let run_direct ~sparse rng (c : Compiled.t) cfg events recorder tot =
           let mu = select a (Rng.float rng *. a0) in
           fire c state mu;
           incr fired;
-          if sparse then
+          if sparse then begin
             tot.n_evals <-
-              tot.n_evals + Compiled.refresh_affected c state mu a;
+              tot.n_evals + Compiled.refresh_affected_in c ~regs state mu a;
+            tot.n_instrs <- tot.n_instrs + Compiled.affected_cost c mu
+          end;
           observe t';
           loop t' events
         end
@@ -180,6 +185,7 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder tot =
   let n = Array.length c.c_reactions in
   let heap = Indexed_heap.create n in
   let a = Array.make n 0. in
+  let regs = Compiled.make_regs c in
   let observe t =
     tot.n_obs <- tot.n_obs + 1;
     Trace.Recorder.observe recorder t state
@@ -189,9 +195,10 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder tot =
   in
   let redraw_all t =
     tot.n_evals <- tot.n_evals + n;
+    tot.n_instrs <- tot.n_instrs + Compiled.eval_cost c;
     tot.n_heap <- tot.n_heap + n;
     for i = 0 to n - 1 do
-      a.(i) <- Float.max 0. (c.c_reactions.(i).c_propensity state);
+      a.(i) <- Compiled.propensity_in c ~regs state i;
       Indexed_heap.update heap i (draw_time t a.(i))
     done
   in
@@ -238,6 +245,7 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder tot =
       let affected = Compiled.affected_reactions c mu in
       let n_aff = Array.length affected in
       tot.n_evals <- tot.n_evals + n_aff;
+      tot.n_instrs <- tot.n_instrs + Compiled.affected_cost c mu;
       tot.n_heap <- tot.n_heap + n_aff;
       if not (array_mem mu affected) then begin
         tot.n_heap <- tot.n_heap + 1;
@@ -246,9 +254,7 @@ let run_next_reaction rng (c : Compiled.t) cfg events recorder tot =
       Array.iter
         (fun j ->
           let aj_old = a.(j) in
-          let aj_new =
-            Float.max 0. (c.c_reactions.(j).c_propensity state)
-          in
+          let aj_new = Compiled.propensity_in c ~regs state j in
           a.(j) <- aj_new;
           if j = mu then Indexed_heap.update heap j (draw_time t_mu aj_new)
           else begin
@@ -324,9 +330,11 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder tot =
   let events = catch_up events in
   observe cfg.t0;
   let a = Array.make n_reactions 0. in
+  let regs = Compiled.make_regs c in
   let refresh_all () =
-    Compiled.propensities_into c state a;
-    tot.n_evals <- tot.n_evals + n_reactions
+    Compiled.propensities_into_in c ~regs state a;
+    tot.n_evals <- tot.n_evals + n_reactions;
+    tot.n_instrs <- tot.n_instrs + Compiled.eval_cost c
   in
   (* The cache [a] is kept authoritative across iterations, so only the
      exact-fallback branch can update it sparsely: a leap fires many
@@ -368,7 +376,8 @@ let run_tau_leap rng (c : Compiled.t) cfg ~epsilon events recorder tot =
             fire c state mu_r;
             incr fired;
             tot.n_evals <-
-              tot.n_evals + Compiled.refresh_affected c state mu_r a;
+              tot.n_evals + Compiled.refresh_affected_in c ~regs state mu_r a;
+            tot.n_instrs <- tot.n_instrs + Compiled.affected_cost c mu_r;
             observe t';
             loop t' events
           end
@@ -421,7 +430,7 @@ let algorithm_label = function
 
 (* One registry interaction per run: the loops above count into [tot];
    this flushes the totals (and the run's wall time) after the fact. *)
-let flush_metrics metrics cfg ~fired ~applied ~samples tot ~t_start =
+let flush_metrics metrics cfg ~ir ~fired ~applied ~samples tot ~t_start =
   let algo = algorithm_label cfg.algorithm in
   let c name = Metrics.counter metrics name in
   Metrics.Counter.incr (c ("ssa.runs." ^ algo));
@@ -431,6 +440,12 @@ let flush_metrics metrics cfg ~fired ~applied ~samples tot ~t_start =
   Metrics.Counter.add (c "ssa.heap_updates") tot.n_heap;
   Metrics.Counter.add (c "ssa.recorder_observes") tot.n_obs;
   Metrics.Counter.add (c "ssa.trace_samples") samples;
+  if ir then begin
+    (* the tripwire CI keys on ssa.ir.evals > 0 to prove the IR path
+       is the one actually simulating *)
+    Metrics.Counter.add (c "ssa.ir.evals") tot.n_evals;
+    Metrics.Counter.add (c "ssa.ir.instructions") tot.n_instrs
+  end;
   Metrics.observe_since metrics ("ssa.run_seconds." ^ algo) t_start
 
 let run_compiled_rng ?(events = Events.empty) ?(metrics = Metrics.noop) ~rng
@@ -441,7 +456,7 @@ let run_compiled_rng ?(events = Events.empty) ?(metrics = Metrics.noop) ~rng
     Trace.Recorder.create ~names:c.c_names ~initial:c.c_initial ~t0:cfg.t0
       ~t_end:cfg.t_end ~dt:cfg.dt
   in
-  let tot = { n_evals = 0; n_heap = 0; n_obs = 0 } in
+  let tot = { n_evals = 0; n_instrs = 0; n_heap = 0; n_obs = 0 } in
   let state, fired, applied =
     match cfg.algorithm with
     | Direct -> run_direct ~sparse:true rng c cfg events recorder tot
@@ -453,8 +468,9 @@ let run_compiled_rng ?(events = Events.empty) ?(metrics = Metrics.noop) ~rng
   in
   let trace = Trace.Recorder.finish recorder in
   if live then
-    flush_metrics metrics cfg ~fired ~applied ~samples:(Trace.length trace)
-      tot ~t_start;
+    flush_metrics metrics cfg
+      ~ir:(c.Compiled.c_path = Compiled.Ir)
+      ~fired ~applied ~samples:(Trace.length trace) tot ~t_start;
   let final_state =
     Array.to_list (Array.mapi (fun i id -> (id, state.(i))) c.c_names)
   in
@@ -464,7 +480,7 @@ let run_compiled ?events ?metrics cfg c =
   run_compiled_rng ?events ?metrics ~rng:(Rng.create cfg.seed) cfg c
 
 let run_with_stats ?events ?metrics cfg model =
-  run_compiled ?events ?metrics cfg (Compiled.compile model)
+  run_compiled ?events ?metrics cfg (Compiled.compile ?metrics model)
 
 let run ?events ?metrics cfg model =
   fst (run_with_stats ?events ?metrics cfg model)

@@ -65,25 +65,38 @@ let concat a b =
     }
   end
 
-let mean tr id =
-  let col = tr.data.(index_exn tr id) in
-  let n = Array.length col in
-  if n = 0 then 0.
-  else Array.fold_left ( +. ) 0. col /. float_of_int n
+(* The option-returning statistics are the primitives: an empty trace
+   has no mean, and a zero-mean series has no Fano factor — [None]
+   makes the caller decide, instead of a [0.]/[nan] sentinel silently
+   flowing into downstream arithmetic. The float versions below keep
+   the old convenient signatures with documented sentinels. *)
 
-let variance tr id =
+let mean_opt tr id =
   let col = tr.data.(index_exn tr id) in
   let n = Array.length col in
-  if n = 0 then 0.
+  if n = 0 then None
+  else Some (Array.fold_left ( +. ) 0. col /. float_of_int n)
+
+let variance_opt tr id =
+  let col = tr.data.(index_exn tr id) in
+  let n = Array.length col in
+  if n = 0 then None
   else begin
     let mean = Array.fold_left ( +. ) 0. col /. float_of_int n in
     let sq = Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.)) 0. col in
-    sq /. float_of_int n
+    Some (sq /. float_of_int n)
   end
 
+let fano_factor_opt tr id =
+  match (mean_opt tr id, variance_opt tr id) with
+  | Some m, Some v when m <> 0. -> Some (v /. m)
+  | _ -> None
+
+let mean tr id = Option.value ~default:0. (mean_opt tr id)
+let variance tr id = Option.value ~default:0. (variance_opt tr id)
+
 let fano_factor tr id =
-  let m = mean tr id in
-  if m = 0. then nan else variance tr id /. m
+  Option.value ~default:nan (fano_factor_opt tr id)
 
 let crossings tr id level =
   let col = tr.data.(index_exn tr id) in

@@ -45,16 +45,33 @@ val concat : t -> t -> t
     nominal [t0] lies.
     @raise Invalid_argument otherwise. *)
 
-val mean : t -> string -> float
-(** Time-average of a species over the whole trace. *)
+val mean_opt : t -> string -> float option
+(** Time-average of a species over the whole trace; [None] when the
+    trace has no samples (an empty trace has no mean — e.g. a
+    zero-width {!sub} window). *)
 
-val variance : t -> string -> float
-(** Population variance of a species' samples. *)
+val variance_opt : t -> string -> float option
+(** Population variance of a species' samples; [None] on an empty
+    trace. *)
 
-val fano_factor : t -> string -> float
+val fano_factor_opt : t -> string -> float option
 (** [variance / mean] — the standard dispersion measure of gene
     expression noise; 1 for a Poisson-distributed stationary process.
-    [nan] when the mean is zero. *)
+    [None] on an empty trace or when the mean is zero (no dispersion
+    measure exists). *)
+
+val mean : t -> string -> float
+(** {!mean_opt} with the documented sentinel [0.] for an empty trace.
+    Callers that must distinguish "empty" from "mean is zero" use
+    {!mean_opt}. *)
+
+val variance : t -> string -> float
+(** {!variance_opt} with the documented sentinel [0.] for an empty
+    trace. *)
+
+val fano_factor : t -> string -> float
+(** {!fano_factor_opt} with the documented sentinel [nan] for an empty
+    trace or a zero mean. *)
 
 val crossings : t -> string -> float -> int
 (** Number of times the sampled series crosses the given level (in

@@ -351,6 +351,89 @@ let prop_math_parse_roundtrip =
       | Error msg -> QCheck.Test.fail_report msg
       | Ok e' -> Math.equal e e')
 
+(* Signed and high-precision constants. The grammar has no signed
+   literals, so a negative [Const c] prints as "(-c)" and reads back as
+   [Neg (Const (-. c))] — bit-identical value, different constructor.
+   This normaliser states that documented normal form; the property
+   checks the printer's shortest-round-trip decimals and its
+   parenthesisation of negative constants against it. *)
+let rec signed_normal_form : Math.t -> Math.t = function
+  | Math.Const c when Float.sign_bit c -> Math.Neg (Math.Const (-.c))
+  | Math.Const c -> Math.Const c
+  | Math.Ident v -> Math.Ident v
+  | Math.Neg a -> Math.Neg (signed_normal_form a)
+  | Math.Add (a, b) -> Math.Add (signed_normal_form a, signed_normal_form b)
+  | Math.Sub (a, b) -> Math.Sub (signed_normal_form a, signed_normal_form b)
+  | Math.Mul (a, b) -> Math.Mul (signed_normal_form a, signed_normal_form b)
+  | Math.Div (a, b) -> Math.Div (signed_normal_form a, signed_normal_form b)
+  | Math.Pow (a, b) -> Math.Pow (signed_normal_form a, signed_normal_form b)
+  | Math.Min (a, b) -> Math.Min (signed_normal_form a, signed_normal_form b)
+  | Math.Max (a, b) -> Math.Max (signed_normal_form a, signed_normal_form b)
+  | Math.Exp a -> Math.Exp (signed_normal_form a)
+  | Math.Ln a -> Math.Ln (signed_normal_form a)
+
+let rec precise_math_gen depth =
+  let open QCheck.Gen in
+  let const =
+    map3
+      (fun m d e -> Math.Const (float_of_int m /. float_of_int d *. (10. ** float_of_int e)))
+      (int_range (-99) 99)
+      (int_range 1 7)
+      (int_range (-3) 3)
+  in
+  let ident = map (fun v -> Math.Ident v) (oneofl [ "x"; "y"; "k1" ]) in
+  if depth = 0 then oneof [ const; ident ]
+  else begin
+    let sub = precise_math_gen (depth - 1) in
+    frequency
+      [
+        (2, const);
+        (2, ident);
+        (1, map (fun a -> Math.Neg a) sub);
+        (1, map2 (fun a b -> Math.Add (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Sub (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Mul (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Div (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Pow (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Min (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Max (a, b)) sub sub);
+        (1, map (fun a -> Math.Exp a) sub);
+        (1, map (fun a -> Math.Ln a) sub);
+      ]
+  end
+
+let prop_math_signed_roundtrip =
+  QCheck.Test.make
+    ~name:"signed and fractional constants survive the text round trip"
+    ~count:300
+    (QCheck.make ~print:Math.to_string (precise_math_gen 4))
+    (fun e ->
+      match Math.of_string (Math.to_string e) with
+      | Error msg -> QCheck.Test.fail_report msg
+      | Ok e' -> Math.equal (signed_normal_form e) e')
+
+let test_math_signed_printing () =
+  (* a negative constant parenthesises like Neg, so (-3)^x survives and
+     is not misread as -(3^x) *)
+  checks "negative base" "(-3)^x"
+    (Math.to_string (Math.Pow (Math.Const (-3.), Math.var "x")));
+  (match Math.of_string "(-3)^x" with
+  | Ok (Math.Pow (Math.Neg (Math.Const 3.), Math.Ident "x")) -> ()
+  | Ok e -> Alcotest.failf "misparsed as %s" (Math.to_string e)
+  | Error msg -> Alcotest.fail msg);
+  (* shortest-round-trip decimals: awkward values come back bit for bit *)
+  List.iter
+    (fun c ->
+      match Math.of_string (Math.to_string (Math.Const c)) with
+      | Ok (Math.Const c') ->
+          checkb
+            (Printf.sprintf "%h round trips" c)
+            true
+            (Int64.equal (Int64.bits_of_float c) (Int64.bits_of_float c'))
+      | Ok e -> Alcotest.failf "unexpected parse %s" (Math.to_string e)
+      | Error msg -> Alcotest.fail msg)
+    [ 0.1; 1. /. 3.; 1.2345678901234567e-300; 6.02214076e23 ]
+
 let prop_mathml_roundtrip =
   QCheck.Test.make ~name:"MathML round trip" ~count:300 math_arb (fun m ->
       match Sbml.math_of_xml (Sbml.math_to_xml m) with
@@ -485,6 +568,8 @@ let () =
           Alcotest.test_case "pretty printing" `Quick test_math_pp;
           Alcotest.test_case "parser" `Quick test_math_parser;
           Alcotest.test_case "equal" `Quick test_math_equal;
+          Alcotest.test_case "signed and precise constants" `Quick
+            test_math_signed_printing;
         ] );
       ( "xml",
         [
@@ -517,6 +602,7 @@ let () =
             prop_mathml_roundtrip;
             prop_mathml_string_roundtrip;
             prop_math_parse_roundtrip;
+            prop_math_signed_roundtrip;
             prop_xml_roundtrip;
           ] );
     ]

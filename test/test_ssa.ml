@@ -13,6 +13,7 @@ module Math = Glc_model.Math
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checkf eps = Alcotest.check (Alcotest.float eps)
+let checks = Alcotest.check Alcotest.string
 
 (* ---- rng ---- *)
 
@@ -344,7 +345,34 @@ let test_trace_statistics () =
   checkf 1e-9 "fano" 1. (Trace.fano_factor tr "x");
   checki "crossings of 5" 1 (Trace.crossings tr "x" 5.);
   checki "crossings of 3" 1 (Trace.crossings tr "x" 3.);
-  checki "crossings of 100" 0 (Trace.crossings tr "x" 100.)
+  checki "crossings of 100" 0 (Trace.crossings tr "x" 100.);
+  (* the _opt forms agree with the sentinel forms on non-empty data *)
+  checkb "mean_opt agrees" true (Trace.mean_opt tr "x" = Some 5.);
+  checkb "variance_opt agrees" true (Trace.variance_opt tr "x" = Some 5.);
+  checkb "fano_opt agrees" true (Trace.fano_factor_opt tr "x" = Some 1.)
+
+let test_trace_empty_statistics () =
+  let tr = make_trace () in
+  let empty = Trace.sub tr ~from:0 ~until:0 in
+  checki "empty length" 0 (Trace.length empty);
+  (* the _opt accessors make emptiness unmissable... *)
+  checkb "mean_opt" true (Trace.mean_opt empty "a" = None);
+  checkb "variance_opt" true (Trace.variance_opt empty "a" = None);
+  checkb "fano_opt" true (Trace.fano_factor_opt empty "a" = None);
+  (* ...while the plain forms keep their documented sentinels *)
+  checkf 0. "mean sentinel" 0. (Trace.mean empty "a");
+  checkf 0. "variance sentinel" 0. (Trace.variance empty "a");
+  checkb "fano sentinel is nan" true
+    (Float.is_nan (Trace.fano_factor empty "a"));
+  (* zero mean: variance is defined, the Fano ratio is not *)
+  let r =
+    Trace.Recorder.create ~names:[| "x" |] ~initial:[| 0. |] ~t0:0. ~t_end:2.
+      ~dt:1.
+  in
+  let flat = Trace.Recorder.finish r in
+  checkb "zero-mean fano_opt" true (Trace.fano_factor_opt flat "x" = None);
+  checkb "zero-mean fano sentinel" true
+    (Float.is_nan (Trace.fano_factor flat "x"))
 
 let test_trace_csv_errors () =
   let fails s = match Trace.of_csv s with Ok _ -> false | Error _ -> true in
@@ -899,17 +927,260 @@ let test_sparse_equivalence_circuits () =
     (fun circuit ->
       let events = Glc_dvasim.Experiment.input_schedule protocol circuit in
       let model = Glc_gates.Circuit.model circuit in
-      let run algorithm =
+      let run ?(path = Compiled.Ir) algorithm =
+        let c = Compiled.compile ~path model in
         Trace.to_csv
-          (Sim.run ~events
-             (Sim.config ~seed:42 ~algorithm ~t_end:400. ())
-             model)
+          (fst
+             (Sim.run_compiled ~events
+                (Sim.config ~seed:42 ~algorithm ~t_end:400. ())
+                c))
       in
+      let reference = run Sim.Direct_full_recompute in
       Alcotest.(check string)
         (circuit.Glc_gates.Circuit.name ^ ": byte-identical trace")
-        (run Sim.Direct_full_recompute)
-        (run Sim.Direct))
+        reference (run Sim.Direct);
+      (* the IR is an optimisation, not a semantics change: the AST
+         reference path reproduces the same bytes *)
+      Alcotest.(check string)
+        (circuit.Glc_gates.Circuit.name ^ ": AST path byte-identical")
+        reference
+        (run ~path:Compiled.Ast Sim.Direct))
     (Glc_gates.Benchmarks.all ())
+
+(* ---- flat propensity IR ---- *)
+
+module Ir = Glc_ssa.Ir
+
+let resolve_xyz = function
+  | "x" -> Some 0
+  | "y" -> Some 1
+  | "z" -> Some 2
+  | _ -> None
+
+let ir_eval_of e state =
+  let ex, _ = Ir.compile ~resolve:resolve_xyz e in
+  Ir.eval ex ~regs:(Array.make ex.Ir.e_prog.Ir.p_regs 0.) state
+
+let test_ir_const_fold () =
+  (* (2 + 3) * x folds the addition at compile time; the remaining
+     multiply reads the pool and the state directly, so the whole law
+     is one instruction *)
+  let e = Math.((num 2. + num 3.) * var "x") in
+  let ex, st = Ir.compile ~resolve:resolve_xyz e in
+  checki "one fold" 1 st.Ir.s_const_folds;
+  checki "one instruction" 1 st.Ir.s_instrs;
+  checkf 0. "value" 20.
+    (Ir.eval ex ~regs:(Array.make ex.Ir.e_prog.Ir.p_regs 0.) [| 4.; 0.; 0. |]);
+  (* a law folding entirely to a constant emits no code at all *)
+  let ex2, st2 = Ir.compile ~resolve:resolve_xyz Math.(num 2. ** num 5.) in
+  checki "no code" 0 (Array.length ex2.Ir.e_prog.Ir.p_code);
+  checki "pow folded" 1 st2.Ir.s_const_folds;
+  checkf 0. "folded value" 32. (Ir.eval ex2 ~regs:[||] [||]);
+  (* folding is IEEE-exact, never algebraic: 0 * x survives so a NaN
+     state still propagates *)
+  checkb "0 * nan is nan" true
+    (Float.is_nan (ir_eval_of Math.(num 0. * var "x") [| Float.nan; 0.; 0. |]))
+
+let test_ir_cse () =
+  (* x*y appears twice: the second occurrence reuses the register *)
+  let xy = Math.(var "x" * var "y") in
+  let _, st = Ir.compile ~resolve:resolve_xyz Math.(xy + xy) in
+  checki "two instructions" 2 st.Ir.s_instrs;
+  checki "one cse hit" 1 st.Ir.s_cse_hits;
+  checkf 0. "value" 24. (ir_eval_of Math.(xy + xy) [| 3.; 4.; 0. |])
+
+let test_ir_hill_superinstruction () =
+  (* A gate's whole production law — built the way the SBOL importer
+     builds it — fuses to a single superinstruction: k^n folds, and the
+     remaining [ymin + (ymax-ymin) * factor] shape is one opcode. *)
+  let open Math in
+  let kn = num 12. ** num 2.4 in
+  let xn = var "x" ** num 2.4 in
+  let gate product = num 0.03 + ((num 5. - num 0.03) * product) in
+  let check_fused name law =
+    let _, st = Ir.compile ~resolve:resolve_xyz law in
+    checki (name ^ " fuses to one instruction") 1 st.Ir.s_instrs;
+    List.iter
+      (fun v ->
+        let ast = Math.eval ~lookup:(fun _ -> v) law in
+        let ir = ir_eval_of law [| v; 0.; 0. |] in
+        if Int64.bits_of_float ast <> Int64.bits_of_float ir then
+          Alcotest.failf "%s(%g): ast %h <> ir %h" name v ast ir)
+      [ 0.; 1.; 7.3; 12.; 1e6 ]
+  in
+  check_fused "repression" (gate (kn / (kn + xn)));
+  (* activation evaluates x^n twice in the AST; the fused form computes
+     it once yet returns the same bits *)
+  check_fused "activation" (gate (xn / (kn + xn)));
+  (* the library's own hill constructors associate the numerator
+     differently, so they fold to a constant numerator and take the
+     hillrf factor superinstruction plus the final add: two
+     instructions, still bit-identical *)
+  let law =
+    hill_repression ~ymin:(num 0.03) ~ymax:(num 5.) ~k:(num 12.)
+      ~n:(num 2.4) (var "x")
+  in
+  let _, st = Ir.compile ~resolve:resolve_xyz law in
+  checki "constructor form takes two instructions" 2 st.Ir.s_instrs;
+  List.iter
+    (fun v ->
+      let ast = Math.eval ~lookup:(fun _ -> v) law in
+      let ir = ir_eval_of law [| v; 0.; 0. |] in
+      if Int64.bits_of_float ast <> Int64.bits_of_float ir then
+        Alcotest.failf "hill(%g): ast %h <> ir %h" v ast ir)
+    [ 0.; 1.; 7.3; 12.; 1e6 ]
+
+let test_ir_register_bounds () =
+  let e = Math.((var "x" + var "y") * (var "x" - var "y")) in
+  let ex, st = Ir.compile ~resolve:resolve_xyz e in
+  let p = ex.Ir.e_prog in
+  (* single assignment: one register per emitted instruction *)
+  checki "regs = instrs" st.Ir.s_instrs p.Ir.p_regs;
+  checkb "needs registers" true (p.Ir.p_regs > 0);
+  checkf 0. "value" 5. (ir_eval_of e [| 3.; 2.; 0. |]);
+  Alcotest.check_raises "short register file"
+    (Invalid_argument "Ir.exec: register file smaller than p_regs")
+    (fun () ->
+      ignore (Ir.eval ex ~regs:(Array.make (p.Ir.p_regs - 1) 0.) [| 1.; 2.; 0. |]))
+
+let test_ir_unresolved_ident () =
+  match Ir.compile ~resolve:resolve_xyz (Math.var "ghost") with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* Random laws over every operator with awkward constants: the IR must
+   return the very bits Math.eval returns, NaN and infinity included. *)
+let rec ir_math_gen depth =
+  let open QCheck.Gen in
+  let const =
+    map2
+      (fun m e -> Math.Const (float_of_int m *. (10. ** float_of_int e)))
+      (int_range (-50) 50) (int_range (-2) 2)
+  in
+  let ident = map (fun v -> Math.Ident v) (oneofl [ "x"; "y"; "z" ]) in
+  if depth = 0 then oneof [ const; ident ]
+  else begin
+    let sub = ir_math_gen (depth - 1) in
+    frequency
+      [
+        (2, const);
+        (2, ident);
+        (1, map (fun a -> Math.Neg a) sub);
+        (1, map2 (fun a b -> Math.Add (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Sub (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Mul (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Div (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Pow (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Min (a, b)) sub sub);
+        (1, map2 (fun a b -> Math.Max (a, b)) sub sub);
+        (1, map (fun a -> Math.Exp a) sub);
+        (1, map (fun a -> Math.Ln a) sub);
+      ]
+  end
+
+let prop_ir_matches_math_eval =
+  QCheck.Test.make
+    ~name:"IR evaluation is bit-identical to Math.eval on random laws"
+    ~count:500
+    QCheck.(
+      pair
+        (make ~print:Math.to_string (ir_math_gen 4))
+        (triple (int_range (-10) 40) (int_range (-10) 40)
+           (int_range (-10) 40)))
+    (fun (e, (vx, vy, vz)) ->
+      let state =
+        [| float_of_int vx; float_of_int vy /. 4.; float_of_int vz |]
+      in
+      let lookup = function
+        | "x" -> state.(0)
+        | "y" -> state.(1)
+        | "z" -> state.(2)
+        | _ -> raise Not_found
+      in
+      let ast = Math.eval ~lookup e in
+      let ir = ir_eval_of e state in
+      if Int64.bits_of_float ast = Int64.bits_of_float ir then true
+      else
+        QCheck.Test.fail_reportf "ast %h <> ir %h on %s" ast ir
+          (Math.to_string e))
+
+let prop_ir_ast_trace_equivalence =
+  QCheck.Test.make
+    ~name:"IR and AST paths produce byte-identical traces" ~count:80
+    QCheck.small_int (fun seed ->
+      let m = random_mass_action_model seed in
+      let run path =
+        let c = Compiled.compile ~path m in
+        Trace.to_csv
+          (fst
+             (Sim.run_compiled (Sim.config ~seed:(seed + 1) ~t_end:30. ()) c))
+      in
+      String.equal (run Compiled.Ir) (run Compiled.Ast))
+
+(* ---- non-finite propensities ---- *)
+
+(* The headline bugfix: a kinetic law evaluating to NaN used to slip
+   through the [Float.max 0.] clamp (max 0. nan = nan), corrupt the
+   total propensity and silently truncate the run. Both evaluation
+   paths must now raise instead, naming the reaction and the state.
+   Each case was verified to reproduce the silent truncation before the
+   guard existed. *)
+let test_non_finite_propensity_raises () =
+  let cases =
+    [
+      ("0/0", Math.(var "X" / var "X"));
+      ("ln of negative", Math.(Ln (var "X" - num 5.)));
+      ("division by zero", Math.(num 1. / var "X"));
+    ]
+  in
+  List.iter
+    (fun (path_name, path) ->
+      List.iter
+        (fun (case, rate) ->
+          let m =
+            Model.make
+              ~id:("nonfinite_" ^ case)
+              ~species:[ Model.species "X" 0. ]
+              ~reactions:[ Model.reaction ~products:[ ("X", 1) ] ~rate "bad" ]
+              ()
+          in
+          let c = Compiled.compile ~path m in
+          match Sim.run_compiled (Sim.config ~t_end:5. ()) c with
+          | _ ->
+              Alcotest.failf "%s/%s: expected Non_finite_propensity"
+                path_name case
+          | exception
+              Compiled.Non_finite_propensity
+                { nf_model; nf_reaction; nf_value; nf_state } ->
+              checks (case ^ ": model id") ("nonfinite_" ^ case) nf_model;
+              checks (case ^ ": reaction id") "bad" nf_reaction;
+              checkb (case ^ ": value is non-finite") false
+                (Float.is_finite nf_value);
+              checkb (case ^ ": state recorded") true
+                (List.mem_assoc "X" nf_state))
+        cases)
+    [ ("ast", Compiled.Ast); ("ir", Compiled.Ir) ]
+
+let test_negative_propensity_still_clamps () =
+  (* finite negatives stay a clamp, not an error: the law dips below
+     zero but the simulation proceeds with propensity 0 *)
+  List.iter
+    (fun path ->
+      let m =
+        Model.make ~id:"negclamp"
+          ~species:[ Model.species "X" 0. ]
+          ~reactions:
+            [
+              Model.reaction ~products:[ ("X", 1) ]
+                ~rate:Math.(var "X" - num 5.)
+                "sink";
+            ]
+          ()
+      in
+      let c = Compiled.compile ~path m in
+      let a = Compiled.propensities c [| 0. |] in
+      checkf 0. "clamped to zero" 0. a.(0))
+    [ Compiled.Ast; Compiled.Ir ]
 
 (* ---- recorder grid property ---- *)
 
@@ -994,6 +1265,8 @@ let () =
             test_trace_concat_validation;
           Alcotest.test_case "concat empty operands" `Quick
             test_trace_concat_empty;
+          Alcotest.test_case "empty-trace statistics" `Quick
+            test_trace_empty_statistics;
         ]
         @ qc [ prop_trace_split_concat; prop_recorder_grid ] );
       ( "events",
@@ -1006,7 +1279,23 @@ let () =
             test_compile_boundary_deltas;
           Alcotest.test_case "negative propensity clamped" `Quick
             test_compile_negative_propensity_clamped;
+          Alcotest.test_case "non-finite propensity raises, both paths"
+            `Quick test_non_finite_propensity_raises;
+          Alcotest.test_case "finite negatives still clamp, both paths"
+            `Quick test_negative_propensity_still_clamps;
         ] );
+      ( "ir",
+        [
+          Alcotest.test_case "constant folding" `Quick test_ir_const_fold;
+          Alcotest.test_case "common subexpressions share a register"
+            `Quick test_ir_cse;
+          Alcotest.test_case "Hill responses fuse to one instruction"
+            `Quick test_ir_hill_superinstruction;
+          Alcotest.test_case "register bounds" `Quick test_ir_register_bounds;
+          Alcotest.test_case "unresolved identifier" `Quick
+            test_ir_unresolved_ident;
+        ]
+        @ qc [ prop_ir_matches_math_eval; prop_ir_ast_trace_equivalence ] );
       ( "simulation",
         [
           Alcotest.test_case "determinism" `Quick test_sim_determinism;

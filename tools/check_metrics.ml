@@ -17,10 +17,13 @@
    counter's value never exceeds the ceiling — the tripwire CI uses to
    catch regressions of the sparse propensity engine
    (ssa.propensity_evals is deterministic for a fixed seed) and runaway
-   serve.* failure counters. In text mode dotted counter names are
-   mangled the way the exposition mangles them (serve.jobs_failed
-   matches serve_jobs_failed). Exits nonzero with a message on any
-   mismatch. *)
+   serve.* failure counters. The dual --min COUNTER=FLOOR asserts a
+   counter reached at least the floor — the tripwire proving a code
+   path actually ran (ssa.ir.evals >= 1 proves the IR evaluator, not
+   the AST reference, did the simulating). In text mode dotted counter
+   names are mangled the way the exposition mangles them
+   (serve.jobs_failed matches serve_jobs_failed). Exits nonzero with a
+   message on any mismatch. *)
 
 module Json = Glc_core.Report.Json
 
@@ -41,22 +44,42 @@ let member v key =
 let usage () =
   prerr_endline
     "usage: check_metrics [--text] [--no-ensemble] FILE [--max \
-     COUNTER=CEILING]...";
+     COUNTER=CEILING]... [--min COUNTER=FLOOR]...";
   exit 2
 
-let parse_max spec =
+let parse_bound spec =
   match String.index_opt spec '=' with
   | None -> usage ()
   | Some i -> (
       let key = String.sub spec 0 i in
       let v = String.sub spec (i + 1) (String.length spec - i - 1) in
       match int_of_string_opt v with
-      | Some ceiling when key <> "" -> (key, ceiling)
+      | Some bound when key <> "" -> (key, bound)
       | Some _ | None -> usage ())
+
+(* A bound check shared by both modes: [lookup key] returns the
+   counter's integer value if present. *)
+let check_bounds ~what ~lookup maxes mins =
+  List.iter
+    (fun (key, ceiling) ->
+      match lookup key with
+      | None -> fail "%s %S is missing or not an integer" what key
+      | Some n when n > ceiling ->
+          fail "%s %S is %d, above the ceiling %d" what key n ceiling
+      | Some n -> Printf.printf "check_metrics: %s = %d <= %d\n" key n ceiling)
+    maxes;
+  List.iter
+    (fun (key, floor) ->
+      match lookup key with
+      | None -> fail "%s %S is missing or not an integer" what key
+      | Some n when n < floor ->
+          fail "%s %S is %d, below the floor %d" what key n floor
+      | Some n -> Printf.printf "check_metrics: %s = %d >= %d\n" key n floor)
+    mins
 
 (* ---- JSON mode ---- *)
 
-let check_json ?(ensemble = true) path text maxes =
+let check_json ?(ensemble = true) path text maxes mins =
   let doc =
     match Json.parse text with
     | Ok doc -> doc
@@ -88,14 +111,12 @@ let check_json ?(ensemble = true) path text maxes =
         "engine.replicates_ok";
         "pool.tasks";
       ];
-  List.iter
-    (fun (key, ceiling) ->
-      match Json.to_int (member counters key) with
-      | None -> fail "counter %S is not an integer" key
-      | Some n when n > ceiling ->
-          fail "counter %S is %d, above the ceiling %d" key n ceiling
-      | Some n -> Printf.printf "check_metrics: %s = %d <= %d\n" key n ceiling)
-    maxes;
+  let lookup key =
+    match Json.member counters key with
+    | None -> None
+    | Some v -> Json.to_int v
+  in
+  check_bounds ~what:"counter" ~lookup maxes mins;
   Printf.printf "check_metrics: %s OK\n" path
 
 (* ---- text-exposition mode ---- *)
@@ -118,7 +139,7 @@ let is_sample_name name =
          | _ -> false)
        name
 
-let check_text path text maxes =
+let check_text path text maxes mins =
   let samples = Hashtbl.create 64 in
   let lines = String.split_on_char '\n' text in
   List.iteri
@@ -150,35 +171,30 @@ let check_text path text maxes =
         | _ -> fail "%s:%d: malformed sample line %S" path lineno line)
     lines;
   if Hashtbl.length samples = 0 then fail "%s: no samples found" path;
-  List.iter
-    (fun (key, ceiling) ->
-      let name = mangle key in
-      match Hashtbl.find_opt samples name with
-      | None -> fail "sample %S (for %S) is missing or not an integer" name key
-      | Some n when n > ceiling ->
-          fail "sample %S is %d, above the ceiling %d" name n ceiling
-      | Some n -> Printf.printf "check_metrics: %s = %d <= %d\n" name n ceiling)
-    maxes;
+  let lookup key = Hashtbl.find_opt samples (mangle key) in
+  check_bounds ~what:"sample" ~lookup maxes mins;
   Printf.printf "check_metrics: %s OK (%d samples)\n" path
     (Hashtbl.length samples)
 
 let () =
-  let path, maxes, text_mode, ensemble =
-    let rec parse path maxes text_mode ensemble = function
-      | [] -> (path, List.rev maxes, text_mode, ensemble)
-      | "--text" :: rest -> parse path maxes true ensemble rest
-      | "--no-ensemble" :: rest -> parse path maxes text_mode false rest
+  let path, maxes, mins, text_mode, ensemble =
+    let rec parse path maxes mins text_mode ensemble = function
+      | [] -> (path, List.rev maxes, List.rev mins, text_mode, ensemble)
+      | "--text" :: rest -> parse path maxes mins true ensemble rest
+      | "--no-ensemble" :: rest -> parse path maxes mins text_mode false rest
       | "--max" :: spec :: rest ->
-          parse path (parse_max spec :: maxes) text_mode ensemble rest
+          parse path (parse_bound spec :: maxes) mins text_mode ensemble rest
+      | "--min" :: spec :: rest ->
+          parse path maxes (parse_bound spec :: mins) text_mode ensemble rest
       | p :: rest when path = None ->
-          parse (Some p) maxes text_mode ensemble rest
+          parse (Some p) maxes mins text_mode ensemble rest
       | _ -> usage ()
     in
-    match parse None [] false true (List.tl (Array.to_list Sys.argv)) with
-    | Some path, maxes, text_mode, ensemble ->
-        (path, maxes, text_mode, ensemble)
-    | None, _, _, _ -> usage ()
+    match parse None [] [] false true (List.tl (Array.to_list Sys.argv)) with
+    | Some path, maxes, mins, text_mode, ensemble ->
+        (path, maxes, mins, text_mode, ensemble)
+    | None, _, _, _, _ -> usage ()
   in
   let text = try read_file path with Sys_error m -> fail "%s" m in
-  if text_mode then check_text path text maxes
-  else check_json ~ensemble path text maxes
+  if text_mode then check_text path text maxes mins
+  else check_json ~ensemble path text maxes mins
