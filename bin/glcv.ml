@@ -155,16 +155,24 @@ let gray_opt =
 let eval_opt =
   let conv =
     Arg.enum
-      [ ("ir", Glc_ssa.Compiled.Ir); ("ast", Glc_ssa.Compiled.Ast) ]
+      [
+        ("ir", Glc_ssa.Compiled.Ir);
+        ("ir-batch", Glc_ssa.Compiled.Ir_batch);
+        ("ast", Glc_ssa.Compiled.Ast);
+      ]
   in
   Arg.value
     (Arg.opt conv Glc_ssa.Compiled.Ir
        (Arg.info [ "eval" ] ~docv:"EVAL"
           ~doc:"Kinetic-law evaluator: $(b,ir) (flat compiled \
-                instruction arrays, the default) or $(b,ast) (the \
-                reference tree-walking evaluator). Both produce \
-                byte-identical traces for a fixed seed; $(b,ast) exists \
-                as the differential-testing reference."))
+                instruction arrays, the default), $(b,ir-batch) (the \
+                same IR, with ensemble replicates advanced in lockstep \
+                lane-blocks over structure-of-arrays register files) or \
+                $(b,ast) (the reference tree-walking evaluator). All \
+                three produce byte-identical traces for a fixed seed; \
+                $(b,ast) exists as the differential-testing reference \
+                and $(b,ir-batch) trades nothing but memory for \
+                ensemble throughput."))
 
 let protocol_term =
   let make threshold total hold seed algorithm gray eval =

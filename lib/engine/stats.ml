@@ -36,6 +36,22 @@ let of_array xs =
 
 let of_list xs = of_array (Array.of_list xs)
 
+(* The option forms make "no dispersion estimate exists" explicit:
+   sample variance divides by n-1, so with zero or one sample there is
+   nothing to report and the [summary] sentinels (sd = 0) must not be
+   mistaken for a measured zero spread. Degraded ensembles — every
+   replicate but one failed — hit exactly this. *)
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then None
+  else begin
+    let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs in
+    Some (ss /. float_of_int (n - 1))
+  end
+
+let sd xs = Option.map Float.sqrt (variance xs)
+
 let fraction ~count ~total =
   if total = 0 then 0. else float_of_int count /. float_of_int total
 

@@ -12,8 +12,21 @@ type summary = {
 }
 
 val of_array : float array -> summary
+(** Total on every input: [n = 0] yields the all-zero summary and
+    [n = 1] a zero [sd]/[ci95] — documented sentinels, rendered as
+    "n/a" by {!pp}. Callers that must distinguish "no dispersion
+    estimate exists" from "zero spread" use {!variance}/{!sd}. *)
 
 val of_list : float list -> summary
+
+val variance : float array -> float option
+(** Sample variance (n-1 denominator); [None] when fewer than two
+    samples exist — with zero or one replicate there is no dispersion
+    to estimate, and the [summary] sentinel 0 must not be read as a
+    measured zero spread. *)
+
+val sd : float array -> float option
+(** Sample standard deviation; [None] as {!variance}. *)
 
 val fraction : count:int -> total:int -> float
 (** [count /. total], 0 when [total = 0]. *)

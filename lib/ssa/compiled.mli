@@ -19,6 +19,12 @@ module Model := Glc_model.Model
 type path =
   | Ast  (** reference: a tree of closures mirroring the math AST *)
   | Ir  (** default: flat register IR, folded and CSE'd (see {!module:Ir}) *)
+  | Ir_batch
+      (** the same flat IR, but the ensemble engine advances a block of
+          replicate lanes in lockstep over structure-of-arrays register
+          files ({!make_regs_batch}, {!refresh_reaction_batch_in}) —
+          bit-identical to {!Ir} lane by lane, chosen purely for
+          throughput *)
 
 val set_default_path : path -> unit
 (** Set the path {!compile} uses when none is passed explicitly. Intended
@@ -182,3 +188,33 @@ val affected_cost : t -> int -> int
 
 val ir_stats : t -> ir_stats option
 (** Compile-time IR statistics ([None] on the {!Ast} path). *)
+
+val make_regs_batch : t -> width:int -> float array array
+(** [make_regs_batch t ~width] is a structure-of-arrays register file
+    for batched evaluation: one row per register slot, [width] lanes
+    per row ([regs.(slot).(lane)]). A batched simulator allocates one
+    per lane block and reuses it for the whole block's lifetime.
+    @raise Invalid_argument if [width < 1]. *)
+
+val refresh_reaction_batch_in :
+  t ->
+  regs:float array array ->
+  states:float array array ->
+  lanes:int array ->
+  n:int ->
+  int ->
+  rows:float array array ->
+  unit
+(** [refresh_reaction_batch_in t ~regs ~states ~lanes ~n j ~rows]
+    re-evaluates reaction [j]'s propensity for the first [n] lanes
+    listed in [lanes] at once — one instruction decode shared by all
+    lanes ({!Ir.exec_batch}) — writing each lane's clamped value into
+    [rows.(lane).(j)]. [states.(species).(lane)] is the
+    structure-of-arrays state; [rows.(lane)] is that lane's ordinary
+    propensity cache, so retired lanes keep their scalar layout. Values
+    are clamped and checked exactly as {!propensity}; on the {!Ast}
+    path each lane's column is gathered and evaluated through the
+    scalar closure, so the entry point is total over every compile
+    path.
+    @raise Non_finite_propensity on NaN or infinity, attributed to the
+    offending lane's state. *)

@@ -131,6 +131,38 @@ let test_pool_lifecycle () =
     (Invalid_argument "Pool.create: jobs < 1") (fun () ->
       ignore (Pool.create ~jobs:0 ()))
 
+let test_pool_map_blocks () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      (* 13 items in width-4 blocks: starts 0,4,8,12; last block short *)
+      let arr = Array.init 13 (fun i -> i) in
+      let blocks =
+        Pool.map_blocks p ~width:4
+          (fun start items -> (start, Array.length items, Array.to_list items))
+          arr
+      in
+      checki "block count" 4 (Array.length blocks);
+      Array.iteri
+        (fun b outcome ->
+          match outcome with
+          | Ok (start, len, items) ->
+              checki "start" (4 * b) start;
+              checki "length" (if b = 3 then 1 else 4) len;
+              checkb "contents" true
+                (items = List.init len (fun k -> start + k))
+          | Error _ -> Alcotest.fail "block failed")
+        blocks;
+      (* a raising block reports the block's start index, not its number *)
+      (match
+         Pool.map_blocks p ~width:4
+           (fun start _ -> if start = 8 then failwith "boom" else start)
+           arr
+       with
+      | [| Ok 0; Ok 4; Error e; Ok 12 |] -> checki "error task" 8 e.Pool.task
+      | _ -> Alcotest.fail "unexpected block outcomes");
+      Alcotest.check_raises "width < 1"
+        (Invalid_argument "Pool.map_blocks: width < 1") (fun () ->
+          ignore (Pool.map_blocks p ~width:0 (fun s _ -> s) arr)))
+
 (* ---- stats ---- *)
 
 let test_stats_summary () =
@@ -147,6 +179,28 @@ let test_stats_summary () =
   let one = Stats.of_list [ 3. ] in
   checkf 1e-9 "singleton sd" 0. one.Stats.sd;
   checkf 1e-9 "singleton ci" 0. one.Stats.ci95
+
+let test_stats_dispersion_options () =
+  (* the 0/1-replicate cases: no dispersion estimate exists, and the
+     option forms must say so instead of leaning on the summary's zero
+     sentinels *)
+  checkb "variance of [] is None" true (Stats.variance [||] = None);
+  checkb "sd of [] is None" true (Stats.sd [||] = None);
+  checkb "variance of singleton is None" true (Stats.variance [| 5. |] = None);
+  checkb "sd of singleton is None" true (Stats.sd [| 5. |] = None);
+  (match Stats.variance [| 1.; 3. |] with
+  | Some v -> checkf 1e-12 "variance of pair" 2. v
+  | None -> Alcotest.fail "pair has a variance");
+  (match Stats.sd [| 1.; 3. |] with
+  | Some v -> checkf 1e-12 "sd of pair" (sqrt 2.) v
+  | None -> Alcotest.fail "pair has an sd");
+  (* the summary sentinels stay total and zero for n < 2 *)
+  let zero = Stats.of_array [||] and one = Stats.of_array [| 5. |] in
+  checkf 1e-12 "empty summary sd" 0. zero.Stats.sd;
+  checkf 1e-12 "singleton summary sd" 0. one.Stats.sd;
+  checkf 1e-12 "singleton summary ci95" 0. one.Stats.ci95;
+  let two = Stats.of_array [| 1.; 3. |] in
+  checkf 1e-12 "pair summary sd" (sqrt 2.) two.Stats.sd
 
 let test_stats_ci_shrinks () =
   (* draws from one distribution: quadrupling the sample count must
@@ -377,6 +431,51 @@ let test_ensemble_empty_aggregate () =
   ignore (Ensemble.to_json t);
   ignore (Format.asprintf "%a" Ensemble.pp t)
 
+let test_ensemble_single_replicate () =
+  (* n = 1: consensus degenerates to that replicate's vote, and the
+     fitness summary reports sd = ci95 = 0 (the documented sentinel —
+     Stats.sd/variance return None for the same data) *)
+  let circuit = Circuits.genetic_not () in
+  let t = Ensemble.run (not_config ~replicates:1 ()) circuit in
+  checki "one replicate" 1 (Array.length t.Ensemble.replicates);
+  checki "fitness n" 1 t.Ensemble.fitness.Stats.n;
+  checkf 1e-12 "fitness sd sentinel" 0. t.Ensemble.fitness.Stats.sd;
+  checkf 1e-12 "fitness ci95 sentinel" 0. t.Ensemble.fitness.Stats.ci95;
+  checkb "consensus verified" true t.Ensemble.consensus_verified;
+  Array.iter
+    (fun (c : Ensemble.case_summary) ->
+      checkb "no flake with one voter" false c.Ensemble.cs_flaky;
+      checkf 1e-12 "agreement unanimous" 1. c.Ensemble.cs_agreement)
+    t.Ensemble.cases;
+  ignore (Ensemble.to_json t);
+  ignore (Format.asprintf "%a" Ensemble.pp t)
+
+let with_default_path path f =
+  let saved = Glc_ssa.Compiled.default_path () in
+  Glc_ssa.Compiled.set_default_path path;
+  Fun.protect ~finally:(fun () -> Glc_ssa.Compiled.set_default_path saved) f
+
+let test_ensemble_batched_matches_scalar () =
+  (* the tentpole's acceptance check, end to end: an ensemble run on the
+     batched path renders to the very bytes of the scalar run. 13
+     replicates = one full 8-lane block plus a 5-lane one, so lane
+     retirement inside a block and a short trailing block are both
+     crossed, and jobs=2 splits the blocks across workers. *)
+  let circuit = Circuits.genetic_not () in
+  let cfg = not_config ~replicates:13 ~jobs:2 () in
+  let scalar =
+    with_default_path Glc_ssa.Compiled.Ir (fun () ->
+        Ensemble.to_json (Ensemble.run cfg circuit))
+  in
+  let batched =
+    with_default_path Glc_ssa.Compiled.Ir_batch (fun () ->
+        Ensemble.run cfg circuit)
+  in
+  checki "all lanes retired" 13 (Array.length batched.Ensemble.replicates);
+  checki "no failures" 0 (Array.length batched.Ensemble.failures);
+  checks "batched report byte-identical to scalar" scalar
+    (Ensemble.to_json batched)
+
 let test_ensemble_flaky_report () =
   (* hand-built disagreement: 2 of 3 replicates say minterm, one says
      not -> consensus keeps it, the row is reported flaky *)
@@ -479,10 +578,13 @@ let () =
           Alcotest.test_case "map" `Quick test_pool_map;
           Alcotest.test_case "exception capture" `Quick test_pool_capture;
           Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+          Alcotest.test_case "map_blocks" `Quick test_pool_map_blocks;
         ] );
       ( "stats",
         [
           Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "dispersion options, n=0/1/2" `Quick
+            test_stats_dispersion_options;
           Alcotest.test_case "ci shrinks" `Quick test_stats_ci_shrinks;
         ] );
       ( "cache",
@@ -507,6 +609,10 @@ let () =
             test_ensemble_ci_shrinks;
           Alcotest.test_case "failed-replicate degradation" `Quick
             test_ensemble_degradation;
+          Alcotest.test_case "single replicate" `Quick
+            test_ensemble_single_replicate;
+          Alcotest.test_case "batched lane-blocks match scalar" `Slow
+            test_ensemble_batched_matches_scalar;
           Alcotest.test_case "all replicates failed" `Quick
             test_ensemble_empty_aggregate;
           Alcotest.test_case "flaky minterm report" `Quick

@@ -205,14 +205,90 @@ let test_rng_poisson () =
     done;
     float_of_int !sum /. float_of_int n
   in
-  (* exact regime *)
+  (* exact (Knuth) regime *)
   checkf 0.1 "small mean" 3. (sample 3. 20_000);
-  (* normal-approximation regime *)
+  (* PTRS regime *)
   checkf 2. "large mean" 200. (sample 200. 5_000);
+  (* a mean where e^-mean underflows to 0. — the old exp-based inversion
+     would loop forever here and the normal approximation truncated *)
+  checkf 100. "huge mean" 50_000. (sample 50_000. 2_000);
   checki "zero mean" 0 (Rng.poisson r ~mean:0.);
-  Alcotest.check_raises "negative mean"
-    (Invalid_argument "Rng.poisson: mean < 0") (fun () ->
-      ignore (Rng.poisson r ~mean:(-1.)))
+  let bad =
+    Invalid_argument "Rng.poisson: mean must be finite and non-negative"
+  in
+  Alcotest.check_raises "negative mean" bad (fun () ->
+      ignore (Rng.poisson r ~mean:(-1.)));
+  Alcotest.check_raises "non-finite mean" bad (fun () ->
+      ignore (Rng.poisson r ~mean:Float.infinity))
+
+(* Exact-distribution check in the PTRS regime: bins of ~equal exact
+   probability are built from the Poisson pmf (computed in logs, like
+   the sampler itself), so the test is sensitive to the truncation bias
+   a rounded normal approximation has — mean alone is not. *)
+let prop_rng_poisson_chi_square =
+  QCheck.Test.make ~name:"poisson is exact at large means (chi-square)"
+    ~count:8
+    QCheck.(oneofl [ 12.; 35.; 80.; 250.; 900.; 3000. ])
+    (fun mean ->
+      let log_fact =
+        let tbl = Array.make 10 0. in
+        for k = 2 to 9 do
+          tbl.(k) <- tbl.(k - 1) +. log (float_of_int k)
+        done;
+        fun k ->
+          if k < 10 then tbl.(k)
+          else
+            let x = float_of_int (k + 1) in
+            ((x -. 0.5) *. log x) -. x
+            +. (0.5 *. log (2. *. Float.pi))
+            +. (1. /. (12. *. x))
+      in
+      let pmf k =
+        Float.exp ((float_of_int k *. log mean) -. mean -. log_fact k)
+      in
+      let sigma = sqrt mean in
+      let lo = max 0 (int_of_float (mean -. (6. *. sigma))) in
+      let hi = int_of_float (mean +. (6. *. sigma)) + 1 in
+      (* upper-inclusive bin edges of ~1/12 exact mass each; the final
+         bin is open above, so the ~1e-9 tails land in the end bins *)
+      let edges = ref [] and probs = ref [] in
+      let acc = ref 0. in
+      for k = lo to hi do
+        let p = pmf k in
+        acc := !acc +. p;
+        if !acc >= 1. /. 12. && k < hi then begin
+          edges := k :: !edges;
+          probs := !acc :: !probs;
+          acc := 0.
+        end
+      done;
+      let closed = List.rev !probs in
+      let edges = Array.of_list (List.rev (hi :: !edges)) in
+      let probs =
+        Array.of_list
+          (closed @ [ 1. -. List.fold_left ( +. ) 0. closed ])
+      in
+      let nbins = Array.length edges in
+      let counts = Array.make nbins 0 in
+      let r = Rng.create (int_of_float mean + 7) in
+      let n = 20_000 in
+      for _ = 1 to n do
+        let k = Rng.poisson r ~mean in
+        let rec bin i =
+          if i >= nbins - 1 || k <= edges.(i) then i else bin (i + 1)
+        in
+        let b = bin 0 in
+        counts.(b) <- counts.(b) + 1
+      done;
+      let chi2 = ref 0. in
+      Array.iteri
+        (fun i c ->
+          let e = float_of_int n *. probs.(i) in
+          let d = float_of_int c -. e in
+          chi2 := !chi2 +. (d *. d /. e))
+        counts;
+      (* df <= 11: P(chi2 > 60) < 1e-8 per case, deterministic seeds *)
+      !chi2 < 60.)
 
 (* ---- indexed heap ---- *)
 
@@ -720,6 +796,57 @@ let test_sim_tau_leap_bad_epsilon () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
+let test_sim_tau_leap_step_rejection () =
+  (* Regression for the negative-population bug. X recycles through Z
+     (X -> Z fast, Z -> X slow), so X hovers near zero where a Poisson
+     draw of k >= X + 1 conversions regularly overshoots the population;
+     a high-propensity birth-death background B keeps a0 large enough
+     that the step-selection never falls back to exact SSA stepping at
+     small X. Before step rejection, the overshoot was silently clamped
+     to zero — Z received k molecules while X gave up fewer, creating
+     mass out of nothing — so X + Z drifted above its invariant. The
+     sum is a pair of small integers stored in doubles, hence exact, and
+     the clamp inflates it within a handful of leaps on any seed. *)
+  let m =
+    Model.make ~id:"recycle"
+      ~species:
+        [
+          Model.species "X" 1.;
+          Model.species "Z" 29.;
+          Model.species "B" 1000.;
+        ]
+      ~reactions:
+        [
+          Model.reaction
+            ~reactants:[ ("X", 1) ]
+            ~products:[ ("Z", 1) ]
+            ~rate:Math.(num 1. * var "X")
+            "xz";
+          Model.reaction
+            ~reactants:[ ("Z", 1) ]
+            ~products:[ ("X", 1) ]
+            ~rate:Math.(num 0.02 * var "Z")
+            "zx";
+          Model.reaction ~products:[ ("B", 1) ] ~rate:(Math.num 2000.) "bb";
+          Model.reaction
+            ~reactants:[ ("B", 1) ]
+            ~rate:Math.(num 2. * var "B")
+            "bd";
+        ]
+      ()
+  in
+  let cfg =
+    Sim.config ~seed:5
+      ~algorithm:(Sim.Tau_leaping { epsilon = 0.5 })
+      ~t_end:400. ()
+  in
+  let tr = Sim.run cfg m in
+  for k = 0 to Trace.length tr - 1 do
+    let x = Trace.value tr "X" k and z = Trace.value tr "Z" k in
+    checkb "populations nonnegative" true (x >= 0. && z >= 0.);
+    checkf 0. "X + Z conserved exactly" 30. (x +. z)
+  done
+
 (* ---- population ---- *)
 
 let test_population_mean () =
@@ -917,6 +1044,61 @@ let prop_sparse_direct_equivalence =
       in
       String.equal (run Sim.Direct) (run Sim.Direct_full_recompute))
 
+let prop_nonnegative_populations =
+  (* blanket invariant behind the tau-leap step-rejection fix: no
+     algorithm may ever record a negative copy number *)
+  QCheck.Test.make ~name:"populations stay nonnegative, all algorithms"
+    ~count:40 QCheck.small_int (fun seed ->
+      let m = random_mass_action_model seed in
+      List.for_all
+        (fun algorithm ->
+          let tr =
+            Sim.run (Sim.config ~seed:(seed + 3) ~algorithm ~t_end:30. ()) m
+          in
+          let ok = ref true in
+          Array.iter
+            (fun id ->
+              for k = 0 to Trace.length tr - 1 do
+                if Trace.value tr id k < 0. then ok := false
+              done)
+            (Trace.names tr);
+          !ok)
+        [
+          Sim.Direct;
+          Sim.Direct_full_recompute;
+          Sim.Next_reaction;
+          Sim.Tau_leaping { epsilon = 0.05 };
+        ])
+
+let prop_batch_scalar_equivalence =
+  (* The batched driver's contract: lane [l] of a lockstep block is
+     byte-identical — trace and stats — to a scalar run on the same
+     generator. Lane counts sweep 1..8 so single-lane blocks and full
+     blocks are both exercised. *)
+  QCheck.Test.make
+    ~name:"batched lane-blocks are byte-identical to scalar runs"
+    ~count:60 QCheck.small_int (fun seed ->
+      let m = random_mass_action_model seed in
+      let c = Compiled.compile ~path:Compiled.Ir_batch m in
+      let cfg = Sim.config ~seed:(seed + 7) ~t_end:30. () in
+      let w = 1 + (seed mod 8) in
+      let rngs = Array.init w (fun i -> Rng.create ((1000 * seed) + i)) in
+      let scalar =
+        Array.map
+          (fun rng ->
+            let tr, st = Sim.run_compiled_rng ~rng:(Rng.copy rng) cfg c in
+            (Trace.to_csv tr, st))
+          rngs
+      in
+      let batched =
+        Array.map
+          (function
+            | Ok (tr, st) -> (Trace.to_csv tr, st)
+            | Error e -> raise e)
+          (Sim.run_batch_rngs ~rngs cfg c)
+      in
+      scalar = batched)
+
 let test_sparse_equivalence_circuits () =
   (* Same check on the paper's Table-1 circuits under the virtual lab's
      input stimulus, shortened to keep the suite fast. *)
@@ -944,7 +1126,31 @@ let test_sparse_equivalence_circuits () =
       Alcotest.(check string)
         (circuit.Glc_gates.Circuit.name ^ ": AST path byte-identical")
         reference
-        (run ~path:Compiled.Ast Sim.Direct))
+        (run ~path:Compiled.Ast Sim.Direct);
+      (* and so is the batched lockstep driver, lane by lane, with the
+         virtual lab's input events in play *)
+      let c_batch = Compiled.compile ~path:Compiled.Ir_batch model in
+      let cfg = Sim.config ~seed:42 ~t_end:400. () in
+      let rngs = Array.init 4 (fun i -> Glc_ssa.Rng.create ((i * 7) + 1)) in
+      let scalar =
+        Array.map
+          (fun rng ->
+            Trace.to_csv
+              (fst
+                 (Sim.run_compiled_rng ~events ~rng:(Glc_ssa.Rng.copy rng)
+                    cfg c_batch)))
+          rngs
+      in
+      Array.iteri
+        (fun l outcome ->
+          match outcome with
+          | Ok (tr, _) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s: batched lane %d byte-identical"
+                   circuit.Glc_gates.Circuit.name l)
+                scalar.(l) (Trace.to_csv tr)
+          | Error e -> raise e)
+        (Sim.run_batch_rngs ~events ~rngs cfg c_batch))
     (Glc_gates.Benchmarks.all ())
 
 (* ---- flat propensity IR ---- *)
@@ -1246,6 +1452,7 @@ let () =
               prop_rng_split_no_collisions;
               prop_rng_int_range;
               prop_rng_int_uniform;
+              prop_rng_poisson_chi_square;
             ] );
       ( "indexed_heap",
         Alcotest.test_case "basic" `Quick test_heap_basic
@@ -1325,13 +1532,20 @@ let () =
             test_sim_tau_leap_determinism_and_events;
           Alcotest.test_case "tau-leap bad epsilon" `Quick
             test_sim_tau_leap_bad_epsilon;
+          Alcotest.test_case "tau-leap step rejection" `Slow
+            test_sim_tau_leap_step_rejection;
           Alcotest.test_case "select skips zero propensity" `Quick
             test_select_skips_zero_propensity;
           Alcotest.test_case "event at t0 in first sample" `Quick
             test_sim_event_at_t0_in_first_sample;
         ]
         @ qc
-            [ prop_select_positive_propensity; prop_sparse_direct_equivalence ]
+            [
+              prop_select_positive_propensity;
+              prop_sparse_direct_equivalence;
+              prop_nonnegative_populations;
+              prop_batch_scalar_equivalence;
+            ]
       );
       ( "population",
         [
