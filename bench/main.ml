@@ -1128,6 +1128,72 @@ let bench_symbolic () =
     !certified !rows !t_hybrid !t_ssa
     (if !t_hybrid > 0. then !t_ssa /. !t_hybrid else 0.)
 
+(* ---- function space: atlas pipeline throughput (lib/space) ---- *)
+
+(* The three stages the atlas drives every function through —
+   truth table -> minimal netlist (Quine-McCluskey), netlist ->
+   assembled kinetic model, model -> symbolic certificate — timed over
+   the whole 256-function 3-input space. Writes BENCH_space.json (CI
+   uploads it as an artifact). The certified count is the headline: it
+   is how much of the space never needs a stochastic trajectory. *)
+let space_bench () =
+  section
+    "Function space -- synthesis / assembly / certification over all \
+     256 3-input functions";
+  let module Fn = Glc_space.Fn in
+  let module Certificate = Glc_symbolic.Certificate in
+  let protocol = Protocol.default in
+  let codes = Fn.all_codes ~arity:3 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* warm-up: code and allocator *)
+  ignore (Certificate.certify ~protocol (Cello.of_code 0x1C));
+  let netlists, t_synth =
+    timed (fun () -> List.map (Fn.netlist ~arity:3) codes)
+  in
+  let gates =
+    List.map (fun nl -> List.length nl.Glc_logic.Netlist.gates) netlists
+  in
+  let circuits, t_asm =
+    timed (fun () -> List.map (fun c -> Cello.of_code ~arity:3 c) codes)
+  in
+  let certs, t_cert =
+    timed (fun () -> List.map (Certificate.certify ~protocol) circuits)
+  in
+  let certified =
+    List.length (List.filter Certificate.fully_decided certs)
+  in
+  let undecided =
+    List.filter_map
+      (fun (code, cert) ->
+        if Certificate.fully_decided cert then None
+        else Some (Fn.name_of_code ~arity:3 code))
+      (List.combine codes certs)
+  in
+  let n = List.length codes in
+  let rate t = if t > 0. then float_of_int n /. t else 0. in
+  Printf.printf "%-14s %10s %14s\n" "stage" "total s" "functions/s";
+  Printf.printf "%-14s %10.3f %14.0f\n" "synthesis" t_synth (rate t_synth);
+  Printf.printf "%-14s %10.3f %14.0f\n" "assembly" t_asm (rate t_asm);
+  Printf.printf "%-14s %10.3f %14.0f\n" "certification" t_cert
+    (rate t_cert);
+  Printf.printf
+    "gates: max %d over the space; certified %d/%d (undecided: %s)\n"
+    (List.fold_left max 0 gates)
+    certified n
+    (String.concat " " undecided);
+  let oc = open_out "BENCH_space.json" in
+  Printf.fprintf oc
+    "{\"functions\":%d,\"synthesis_s\":%.6f,\"assembly_s\":%.6f,\"certification_s\":%.6f,\"certified\":%d,\"max_gates\":%d,\"undecided\":[%s]}\n"
+    n t_synth t_asm t_cert certified
+    (List.fold_left max 0 gates)
+    (String.concat "," (List.map (Printf.sprintf "%S") undecided));
+  close_out oc;
+  Printf.printf "wrote BENCH_space.json\n"
+
 (* ---- observability: instrumentation overhead (lib/obs) ---- *)
 
 (* The Table-1 workload — all 15 benchmark circuits under the paper's
@@ -1194,6 +1260,7 @@ let all () =
   campaign_bench ();
   bench_ssa ();
   bench_symbolic ();
+  space_bench ();
   obs_bench ();
   timing ()
 
@@ -1223,13 +1290,14 @@ let () =
       | "campaign" -> campaign_bench ()
       | "ssa" -> bench_ssa ()
       | "symbolic" -> bench_symbolic ()
+      | "space" -> space_bench ()
       | "obs" -> obs_bench ()
       | "all" -> all ()
       | other ->
           Printf.eprintf
             "unknown artefact %S \
              (fig2|fig3|fig4|fig5|table1|timing|ablation_hold|ablation_fov|\
-             ablation_algorithms|ablation_yield|ablation_order|baselines|population|scaling|ensemble|campaign|ssa|symbolic|obs|all)\n"
+             ablation_algorithms|ablation_yield|ablation_order|baselines|population|scaling|ensemble|campaign|ssa|symbolic|space|obs|all)\n"
             other;
           exit 2)
     jobs

@@ -75,11 +75,20 @@ let find_circuit name =
   match Benchmarks.find name with
   | Some c -> Ok c
   | None -> (
-      (* Accept any 0xNN code, not just the benchmark set. *)
-      match int_of_string_opt name with
-      | Some code when code >= 0 && code <= 0xFF ->
-          Ok (Cello.of_code code)
-      | Some _ | None ->
+      (* Accept any truth-table code, not just the benchmark set: 0xNN
+         (or bare decimal) is a 3-input function, 0xNNNN a 4-input one
+         — the same rule as Campaign.Runner.resolve. *)
+      let code =
+        match Cello.code_of_name name with
+        | Some _ as c -> c
+        | None -> (
+            match int_of_string_opt name with
+            | Some c when c >= 0 && c <= 0xFF -> Some (3, c)
+            | _ -> None)
+      in
+      match code with
+      | Some (arity, code) -> Ok (Cello.of_code ~arity code)
+      | None ->
           Error
             (`Msg
               (Printf.sprintf
@@ -1142,7 +1151,11 @@ module Campaign = struct
 
   let run_cmd =
     let run dir circuits thresholds fovs input_highs replicates seed total
-        hold jobs limit no_lint metrics_file =
+        hold jobs limit no_lint eval metrics_file =
+      (* campaigns are certified-first at the default margin; the
+         evaluator only matters for the rows the certificate leaves
+         undecided (ir-batch pays off on large ensembles) *)
+      Glc_ssa.Compiled.set_default_path eval;
       match
         let grid =
           Grid.make ~thresholds ~fov_uds:fovs
@@ -1232,10 +1245,12 @@ module Campaign = struct
         term_result
           (const run $ dir_opt $ circuits_opt $ thresholds_opt $ fovs_opt
           $ input_highs_opt $ replicates_opt $ seed_opt $ total_opt
-          $ hold_opt $ jobs_opt $ limit_opt $ no_lint_opt $ metrics_opt))
+          $ hold_opt $ jobs_opt $ limit_opt $ no_lint_opt $ eval_opt
+          $ metrics_opt))
 
   let resume_cmd =
-    let run dir jobs limit metrics_file =
+    let run dir jobs limit eval metrics_file =
+      Glc_ssa.Compiled.set_default_path eval;
       drain ~jobs ~limit ~metrics_file ~dir
     in
     Cmd.v
@@ -1246,7 +1261,8 @@ module Campaign = struct
                final report is byte-identical to an uninterrupted run.")
       Term.(
         term_result
-          (const run $ dir_opt $ jobs_opt $ limit_opt $ metrics_opt))
+          (const run $ dir_opt $ jobs_opt $ limit_opt $ eval_opt
+          $ metrics_opt))
 
   let status_cmd =
     let run dir =
@@ -1322,6 +1338,393 @@ module Campaign = struct
                result store: $(b,run), $(b,status), $(b,resume), \
                $(b,report).")
       [ run_cmd; resume_cmd; status_cmd; report_cmd ]
+end
+
+(* ---- space ---- *)
+
+(* The function-space atlas (lib/space): verify a whole n-input
+   Boolean-function space through the campaign stack — certified-first,
+   stochastic ensembles only for the rows the interval analysis leaves
+   undecided — measure worst-case propagation delays on the ODE limit,
+   and render Pareto frontiers (PFoBE × delay × gate cost) per NPN
+   class; plus a deterministic, journaled GA that evolves NOT/NOR
+   netlists toward a target function. *)
+
+module Space = struct
+  module Grid = Glc_campaign.Grid
+  module Store = Glc_campaign.Store
+  module Resume = Glc_campaign.Resume
+  module Atlas = Glc_space.Atlas
+  module Evolve = Glc_space.Evolve
+
+  let dir_opt =
+    Arg.required
+      (Arg.opt (Arg.some Arg.string) None
+         (Arg.info [ "dir"; "d" ] ~docv:"DIR"
+            ~doc:"Atlas directory — a regular campaign directory \
+                  (manifest, journal, result store) whose jobs are the \
+                  functions of the space, so $(b,glcv campaign \
+                  status/report) work on it too."))
+
+  let inputs_opt =
+    Arg.value
+      (Arg.opt Arg.int 3
+         (Arg.info [ "inputs" ] ~docv:"N"
+            ~doc:"Function arity (2..4). The 3-input space has 256 \
+                  functions; the 4-input space has 65,536 and \
+                  requires $(b,--sample)."))
+
+  let sample_opt =
+    Arg.value
+      (Arg.opt (Arg.some Arg.int) None
+         (Arg.info [ "sample" ] ~docv:"N"
+            ~doc:"Verify a seeded uniform sample of N functions \
+                  instead of the whole space (deterministic for a \
+                  fixed $(b,--seed))."))
+
+  let replicates_opt =
+    Arg.value
+      (Arg.opt Arg.int 16
+         (Arg.info [ "replicates"; "n" ] ~docv:"N"
+            ~doc:"Ensemble size for functions the symbolic \
+                  certificate leaves undecided."))
+
+  let certified_only_opt =
+    Arg.value
+      (Arg.flag
+         (Arg.info [ "certified-only" ]
+            ~doc:"Run only the functions whose truth table certifies \
+                  fully by interval analysis; the rest stay pending \
+                  (exit 3). No stochastic simulation at all — this is \
+                  the cheap CI slice."))
+
+  let config inputs sample seed replicates threshold total hold =
+    {
+      Atlas.inputs;
+      sample;
+      seed;
+      replicates;
+      threshold;
+      total_time = total;
+      hold_time = hold;
+    }
+
+  (* an existing directory keeps its own manifest (that is what makes
+     re-running the same command a resume); tell the user when their
+     flags disagree with it *)
+  let note_existing_plan ~dir spec =
+    match Resume.load ~dir with
+    | Error _ -> ()
+    | Ok (_store, stored) ->
+        if Grid.spec_to_json stored <> Grid.spec_to_json spec then
+          Printf.eprintf
+            "note: %s already holds an atlas plan; resuming it (the \
+             planning flags of this invocation were ignored)\n\
+             %!"
+            dir
+
+  let summarize dir (s : Atlas.summary) =
+    Format.printf
+      "space %s: %d function(s), %d done (%d verified), %d failed, %d \
+       pending; delays %d/%d@."
+      dir s.Atlas.a_functions s.Atlas.a_done s.Atlas.a_verified
+      s.Atlas.a_failed s.Atlas.a_remaining s.Atlas.a_delays
+      s.Atlas.a_delays_total;
+    if
+      s.Atlas.a_remaining > 0 || s.Atlas.a_failed > 0
+      || s.Atlas.a_delays < s.Atlas.a_delays_total
+    then exit_incomplete
+    else 0
+
+  let run_cmd =
+    let run dir inputs sample seed replicates threshold total hold
+        certified_only jobs limit eval metrics_file =
+      Glc_ssa.Compiled.set_default_path eval;
+      match
+        Atlas.plan
+          (config inputs sample seed replicates threshold total hold)
+      with
+      | exception Invalid_argument m -> Error (`Msg m)
+      | spec ->
+          note_existing_plan ~dir spec;
+          install_interrupt_handlers ();
+          with_metrics metrics_file (fun metrics ->
+              match
+                Atlas.run ~jobs ?limit
+                  ?on_progress:(Campaign.progress ())
+                  ~metrics ~should_stop:interrupt_requested
+                  ~certified_only ~dir spec
+              with
+              | Error m -> Error (`Msg m)
+              | Ok summary ->
+                  let code = summarize dir summary in
+                  if interrupt_requested () then begin
+                    Format.printf
+                      "space interrupted: store and journal flushed; \
+                       finish with `glcv space run --dir %s`@."
+                      dir;
+                    Ok exit_interrupted
+                  end
+                  else Ok code)
+    in
+    Cmd.v
+      (Cmd.info "run" ~exits:campaign_exits
+         ~doc:"Verify every function of the n-input space (or a seeded \
+               sample): plan one campaign job per function under \
+               $(b,--dir), certify each truth table symbolically, \
+               simulate only the undecided ones, then measure each \
+               circuit's worst-case propagation delay on the ODE \
+               limit. Killable and resumable: re-running the same \
+               command skips everything already stored.")
+      Term.(
+        term_result
+          (const run $ dir_opt $ inputs_opt $ sample_opt $ seed_opt
+          $ replicates_opt $ threshold_opt $ total_opt $ hold_opt
+          $ certified_only_opt $ Campaign.jobs_opt $ Campaign.limit_opt
+          $ eval_opt $ metrics_opt))
+
+  let status_cmd =
+    let run dir =
+      match Resume.status ~dir with
+      | Error m -> Error (`Msg m)
+      | Ok st ->
+          let delays =
+            match Resume.load ~dir with
+            | Ok (store, spec) -> Some (Atlas.delay_coverage store spec)
+            | Error _ -> None
+          in
+          Format.printf "space %s: %d/%d function(s) done, %d pending@."
+            dir st.Resume.s_done st.Resume.s_total
+            (List.length st.Resume.s_pending);
+          (match delays with
+          | Some (m, t) -> Format.printf "  delays measured: %d/%d@." m t
+          | None -> ());
+          (match st.Resume.s_jobs_per_second with
+          | Some rate ->
+              Format.printf "  throughput %.3g function(s)/s%s@." rate
+                (match st.Resume.s_eta_seconds with
+                | Some eta -> Printf.sprintf ", ETA %.0f s" eta
+                | None -> "")
+          | None -> ());
+          List.iter
+            (fun (id, e) -> Format.printf "  %s: last failure: %s@." id e)
+            st.Resume.s_failures;
+          let complete =
+            st.Resume.s_done = st.Resume.s_total
+            && match delays with Some (m, t) -> m >= t | None -> false
+          in
+          Ok (if complete then 0 else exit_incomplete)
+    in
+    Cmd.v
+      (Cmd.info "status" ~exits:campaign_exits
+         ~doc:"Progress of an atlas run: functions done vs pending and \
+               delay-measurement coverage. Exits 0 when the atlas is \
+               complete, 3 otherwise.")
+      Term.(term_result (const run $ dir_opt))
+
+  let report_cmd =
+    let write file s =
+      let oc = open_out file in
+      output_string oc s;
+      close_out oc;
+      Printf.eprintf "wrote %s\n%!" file
+    in
+    let run dir json out atlas_out =
+      match Resume.load ~dir with
+      | Error m -> Error (`Msg m)
+      | Ok (store, spec) -> (
+          let doc = Atlas.space_json store spec in
+          (match out with Some f -> write f doc | None -> ());
+          let atlas_result =
+            match atlas_out with
+            | None -> Ok ()
+            | Some f -> Result.map (write f) (Atlas.markdown doc)
+          in
+          match atlas_result with
+          | Error m -> Error (`Msg m)
+          | Ok () -> (
+              let render_stdout =
+                if json then Ok (print_string (doc ^ "\n"))
+                else if out = None && atlas_out = None then
+                  Result.map print_string (Atlas.markdown doc)
+                else Ok ()
+              in
+              match render_stdout with
+              | Error m -> Error (`Msg m)
+              | Ok () ->
+                  let ls = Store.lines store spec in
+                  let delays_ok =
+                    let m, t = Atlas.delay_coverage store spec in
+                    m >= t
+                  in
+                  Ok
+                    (if
+                       List.exists (fun l -> not l.Store.l_done) ls
+                       || not delays_ok
+                     then exit_incomplete
+                     else if
+                       List.exists (fun l -> not l.Store.l_verified) ls
+                     then exit_not_verified
+                     else 0)))
+    in
+    let json_opt =
+      Arg.value
+        (Arg.flag
+           (Arg.info [ "json" ]
+              ~doc:"Print the SPACE.json document to stdout instead of \
+                    the rendered markdown. Deterministic: a resumed \
+                    atlas renders byte-identically to an uninterrupted \
+                    one."))
+    in
+    let out_opt =
+      Arg.value
+        (Arg.opt (Arg.some Arg.string) None
+           (Arg.info [ "out" ] ~docv:"FILE"
+              ~doc:"Also write the SPACE.json document to FILE."))
+    in
+    let atlas_opt =
+      Arg.value
+        (Arg.opt (Arg.some Arg.string) None
+           (Arg.info [ "atlas" ] ~docv:"FILE"
+              ~doc:"Also render the markdown atlas (frontier tables \
+                    per NPN class) to FILE — the same renderer as \
+                    $(b,tools/gen_models_doc.exe --atlas), so the two \
+                    can never drift."))
+    in
+    Cmd.v
+      (Cmd.info "report" ~exits:campaign_exits
+         ~doc:"Render the function-space report: SPACE.json (run \
+               parameters, per-class summaries with bio flags, one \
+               record per function, Pareto frontiers) and its markdown \
+               atlas. Exits 0 when every function is done and \
+               verified, 1 when some are wrong, 3 when functions or \
+               delay measurements are missing.")
+      Term.(
+        term_result (const run $ dir_opt $ json_opt $ out_opt $ atlas_opt))
+
+  let evolve_cmd =
+    let run dir target inputs seed pop genes elite gens metrics_file =
+      let code =
+        match Cello.code_of_name target with
+        | Some (arity, code) -> Ok (arity, code)
+        | None -> (
+            match int_of_string_opt target with
+            | Some c when c >= 0 && c < 1 lsl (1 lsl inputs) ->
+                Ok (inputs, c)
+            | _ ->
+                Error
+                  (`Msg
+                    (Printf.sprintf
+                       "unknown target %S (expected a truth-table code \
+                        such as 0x1C)"
+                       target)))
+      in
+      match code with
+      | Error _ as e -> e
+      | Ok (arity, code) ->
+          install_interrupt_handlers ();
+          let cfg =
+            {
+              Evolve.v_target = code;
+              v_arity = arity;
+              v_seed = seed;
+              v_pop = pop;
+              v_genes = genes;
+              v_elite = elite;
+              v_max_gens = gens;
+            }
+          in
+          let tty = Unix.isatty Unix.stderr in
+          let on_progress g fit pfobe =
+            if tty && g mod 50 = 0 then
+              Printf.eprintf "\rgen %6d  fitness %7.3f  pfobe %5.1f%!"
+                g fit pfobe
+          in
+          with_metrics metrics_file (fun metrics ->
+              match
+                Evolve.run ~metrics ~should_stop:interrupt_requested
+                  ~on_progress ~dir cfg
+              with
+              | Error m -> Error (`Msg m)
+              | Ok (Evolve.Interrupted g) ->
+                  if tty then prerr_newline ();
+                  Format.printf
+                    "evolution interrupted before generation %d; \
+                     journal flushed — re-run the same command to \
+                     resume@."
+                    g;
+                  Ok exit_interrupted
+              | Ok (Evolve.Finished o) ->
+                  if tty then prerr_newline ();
+                  Format.printf
+                    "target %s %s at generation %d: %d gate(s), pfobe \
+                     %.1f, certificate %s@.genome %s@."
+                    (Cello.name_of_code ~arity code)
+                    (if o.Evolve.o_reached then "reached"
+                     else "NOT reached")
+                    o.Evolve.o_generation o.Evolve.o_gates
+                    o.Evolve.o_pfobe o.Evolve.o_provenance
+                    o.Evolve.o_genome;
+                  Ok (if o.Evolve.o_reached then 0 else exit_not_verified))
+    in
+    let target_arg =
+      Arg.required
+        (Arg.pos 0 (Arg.some Arg.string) None
+           (Arg.info [] ~docv:"TARGET"
+              ~doc:"Target truth-table code, e.g. $(b,0x1C); bare \
+                    decimal is read at the $(b,--inputs) arity."))
+    in
+    let pop_opt =
+      Arg.value
+        (Arg.opt Arg.int 64
+           (Arg.info [ "pop" ] ~docv:"N" ~doc:"Population size."))
+    in
+    let genes_opt =
+      Arg.value
+        (Arg.opt Arg.int 48
+           (Arg.info [ "genes" ] ~docv:"N"
+              ~doc:"Genome gene slots (upper bound on gate count). \
+                    Surplus slots are inactive genetic material — \
+                    neutral drift through them is what crosses fitness \
+                    plateaus, so more is usually better than a larger \
+                    population."))
+    in
+    let elite_opt =
+      Arg.value
+        (Arg.opt Arg.int 4
+           (Arg.info [ "elite" ] ~docv:"N"
+              ~doc:"Genomes copied unchanged each generation."))
+    in
+    let gens_opt =
+      Arg.value
+        (Arg.opt Arg.int 2000
+           (Arg.info [ "gens" ] ~docv:"N"
+              ~doc:"Give up after N generations (exit 1)."))
+    in
+    Cmd.v
+      (Cmd.info "evolve" ~exits:campaign_exits
+         ~doc:"Evolve a NOT/NOR netlist toward TARGET with a \
+               deterministic seeded GA: fitness is the PFoBE proxy \
+               plus inverse gate cost, every generation is journaled \
+               to the store under $(b,--dir) before the next begins, \
+               and a killed run resumes byte-identically. The winning \
+               circuit is assembled and symbolically certified. Exits \
+               0 when the target is reached, 1 otherwise.")
+      Term.(
+        term_result
+          (const run $ dir_opt $ target_arg $ inputs_opt $ seed_opt
+          $ pop_opt $ genes_opt $ elite_opt $ gens_opt $ metrics_opt))
+
+  let group =
+    Cmd.group
+      (Cmd.info "space" ~exits:campaign_exits
+         ~doc:"The function-space atlas: $(b,run) verifies every \
+               function of an n-input space (certified-first, with \
+               propagation delays), $(b,status) and $(b,report) render \
+               progress and the SPACE.json/ATLAS.md Pareto-frontier \
+               report, $(b,evolve) grows a circuit toward a target \
+               function with a deterministic, resumable GA.")
+      [ run_cmd; status_cmd; report_cmd; evolve_cmd ]
 end
 
 (* ---- serve / submit / status / result / scrape ---- *)
@@ -1630,7 +2033,7 @@ let main =
       verify_cmd; certify_cmd; ensemble_cmd; threshold_cmd; delay_cmd;
       export_cmd;
       vcd_cmd; probe_cmd; sweep_cmd; robustness_cmd; Campaign.group;
-      Serve.serve_cmd; Serve.submit_cmd; Serve.status_cmd;
+      Space.group; Serve.serve_cmd; Serve.submit_cmd; Serve.status_cmd;
       Serve.result_cmd; Serve.scrape_cmd;
     ]
 

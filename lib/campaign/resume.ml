@@ -83,7 +83,7 @@ let status ~dir =
         | Some _ | None -> None);
     }
 
-let run ?jobs ?limit ?on_progress ?metrics ?should_stop ~dir () =
+let run ?jobs ?limit ?on_progress ?metrics ?should_stop ?filter ~dir () =
   let ( let* ) = Result.bind in
   let* store, spec = load ~dir in
   (* single-writer discipline: a concurrent drain of the same directory
@@ -91,6 +91,11 @@ let run ?jobs ?limit ?on_progress ?metrics ?should_stop ~dir () =
   let* summary =
     Store.Lock.with_lock ~dir (fun () ->
         let todo = pending ~store (Grid.expand spec.Grid.grid) in
+        let todo =
+          match filter with
+          | None -> todo
+          | Some keep -> List.filter keep todo
+        in
         let journal = Journal.open_ ~dir in
         Fun.protect
           ~finally:(fun () -> Journal.close journal)

@@ -42,6 +42,7 @@ val run :
   ?on_progress:(Runner.progress -> unit) ->
   ?metrics:Glc_obs.Metrics.t ->
   ?should_stop:(unit -> bool) ->
+  ?filter:(Grid.job -> bool) ->
   dir:string ->
   unit ->
   (Store.t * Grid.spec * Runner.summary, string) result
@@ -55,4 +56,11 @@ val run :
     [Error] instead of duplicated work and an interleaved journal (a
     stale lock left by a [kill -9] is detected and broken). [should_stop]
     is the graceful-interrupt hook, polled between jobs — see
-    {!Runner.run}. *)
+    {!Runner.run}.
+
+    [filter] (default: keep everything) prunes the pending set before
+    the drain — jobs it rejects are neither scheduled nor counted in
+    [remaining]. The function-space atlas uses it for certified-only
+    drains: keep just the jobs whose certificate settles every row, so
+    a sweep finishes without simulating and the undecided functions
+    stay pending for a later full drain. *)

@@ -29,12 +29,23 @@ let resolve name =
   match Benchmarks.find name with
   | Some c -> Ok c
   | None -> (
-      match int_of_string_opt name with
-      | Some code when code >= 0 && code <= 0xFF -> (
-          match Cello.of_code code with
+      (* the hex-digit count selects the arity: 0xNN is a 3-input code,
+         0xNNNN a 4-input one (Cello.code_of_name) *)
+      let code =
+        match Cello.code_of_name name with
+        | Some _ as c -> c
+        | None -> (
+            (* bare decimal keeps meaning a 3-input code *)
+            match int_of_string_opt name with
+            | Some c when c >= 0 && c <= 0xFF -> Some (3, c)
+            | _ -> None)
+      in
+      match code with
+      | Some (arity, code) -> (
+          match Cello.of_code ~arity code with
           | c -> Ok c
           | exception Invalid_argument m -> Error m)
-      | Some _ | None ->
+      | None ->
           Error
             (Printf.sprintf
                "unknown circuit %S (benchmark name or a code like 0x1C)"

@@ -1,0 +1,132 @@
+type transform = { perm : int array; flip : int; negate : bool }
+
+let permutations n =
+  (* insertion-based, deterministic order *)
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l ->
+        (x :: l) :: List.map (fun r -> y :: r) (insert x ys)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert x) (perms xs)
+  in
+  perms (List.init n Fun.id) |> List.map Array.of_list
+
+let transforms ~arity =
+  if arity < 1 || arity > 6 then
+    invalid_arg "Npn.transforms: arity must be in 1..6";
+  let perms = permutations arity in
+  List.concat_map
+    (fun perm ->
+      List.concat_map
+        (fun flip -> [ { perm; flip; negate = false }; { perm; flip; negate = true } ])
+        (List.init (1 lsl arity) Fun.id))
+    perms
+
+let apply ~arity tr code =
+  let rows = 1 lsl arity in
+  let out = ref 0 in
+  for r = 0 to rows - 1 do
+    let y = ref 0 in
+    for j = 0 to arity - 1 do
+      let bit = (r lsr tr.perm.(j)) land 1 in
+      let bit = bit lxor ((tr.flip lsr j) land 1) in
+      y := !y lor (bit lsl j)
+    done;
+    let b = (code lsr !y) land 1 in
+    let b = if tr.negate then 1 - b else b in
+    out := !out lor (b lsl r)
+  done;
+  !out
+
+let canonical_with ~arity trs code =
+  List.fold_left (fun best tr -> min best (apply ~arity tr code)) code trs
+
+let canonical ~arity code = canonical_with ~arity (transforms ~arity) code
+
+let classes ~arity =
+  let trs = transforms ~arity in
+  let nf = 1 lsl (1 lsl arity) in
+  let tbl = Hashtbl.create 64 in
+  for code = nf - 1 downto 0 do
+    let rep = canonical_with ~arity trs code in
+    let members = try Hashtbl.find tbl rep with Not_found -> [] in
+    Hashtbl.replace tbl rep (code :: members)
+  done;
+  Hashtbl.fold (fun rep members acc -> (rep, members) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let class_count ~arity = List.length (classes ~arity)
+
+let is_unate ~arity code =
+  let rows = 1 lsl arity in
+  let unate_in i =
+    let inc = ref true and dec = ref true in
+    for r = 0 to rows - 1 do
+      if (r lsr i) land 1 = 0 then begin
+        let f0 = (code lsr r) land 1
+        and f1 = (code lsr (r lor (1 lsl i))) land 1 in
+        if f0 > f1 then inc := false;
+        if f0 < f1 then dec := false
+      end
+    done;
+    !inc || !dec
+  in
+  let ok = ref true in
+  for i = 0 to arity - 1 do
+    if not (unate_in i) then ok := false
+  done;
+  !ok
+
+(* restriction f|_{x_i = v} as a code of arity-1 *)
+let restrict ~arity code i v =
+  let rows' = 1 lsl (arity - 1) in
+  let out = ref 0 in
+  for r' = 0 to rows' - 1 do
+    let low = r' land ((1 lsl i) - 1) in
+    let high = (r' lsr i) lsl (i + 1) in
+    let r = high lor (v lsl i) lor low in
+    out := !out lor (((code lsr r) land 1) lsl r')
+  done;
+  !out
+
+let constant ~arity code =
+  let nf = 1 lsl (1 lsl arity) in
+  code = 0 || code = nf - 1
+
+let canalizing_pairs ~arity code =
+  (* every (input, value) whose fixing alone fixes the output *)
+  if constant ~arity code then []
+  else begin
+    let rows = 1 lsl arity in
+    let acc = ref [] in
+    for i = arity - 1 downto 0 do
+      for v = 1 downto 0 do
+        let first = ref (-1) and same = ref true in
+        for r = 0 to rows - 1 do
+          if (r lsr i) land 1 = v then begin
+            let b = (code lsr r) land 1 in
+            if !first < 0 then first := b
+            else if b <> !first then same := false
+          end
+        done;
+        if !same then acc := (i, v) :: !acc
+      done
+    done;
+    !acc
+  end
+
+let is_canalizing ~arity code = canalizing_pairs ~arity code <> []
+
+let rec is_nested_canalizing ~arity code =
+  if constant ~arity code then false
+  else if arity = 1 then code = 1 || code = 2 (* NOT x or x *)
+  else
+    (* some canalizing input must leave an NCF behind on its
+       non-canalizing branch; greedy first-pair choice could miss a
+       valid nesting order, so try them all *)
+    List.exists
+      (fun (i, v) ->
+        is_nested_canalizing ~arity:(arity - 1) (restrict ~arity code i (1 - v)))
+      (canalizing_pairs ~arity code)

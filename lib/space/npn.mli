@@ -1,0 +1,68 @@
+(** NPN classification of Boolean functions.
+
+    Two [n]-input functions are NPN-equivalent when one can be obtained
+    from the other by {b N}egating inputs, {b P}ermuting inputs, and/or
+    {b N}egating the output. Equivalent functions synthesise to
+    netlists of the same gate count and depth (the transforms are free
+    at the wire level: swap sensors, swap a repressor's sense, read the
+    reporter inverted), so the atlas enumerates one representative per
+    class and expands it back to all members for verification.
+
+    Functions are truth-table codes in the repo's Cello convention: bit
+    [r] of the code is the output for input combination [r]
+    ({!Glc_logic.Truth_table.of_code}). For [n = 3] there are exactly
+    14 classes covering all 256 functions — pinned by a regression
+    test.
+
+    The classifier also recognises the biologically important function
+    classes of Ray / Das / Choudhury (PAPERS.md): {e unate},
+    {e canalizing} and {e nested-canalizing} functions, which dominate
+    the regulatory logic observed in real gene networks. By convention
+    the two constant functions count as neither canalizing nor
+    nested-canalizing (they fix no variable), and as (vacuously)
+    unate. All three properties are NPN-invariant, so they are
+    well-defined per class. *)
+
+type transform = {
+  perm : int array;  (** input [j] of the image reads input [perm.(j)] *)
+  flip : int;  (** bitmask: input [j] is negated when bit [j] is set *)
+  negate : bool;  (** the output is negated *)
+}
+
+val transforms : arity:int -> transform list
+(** All [arity! * 2^arity * 2] NPN transforms, in a deterministic
+    order. 96 for [arity = 3], 768 for [arity = 4]. *)
+
+val apply : arity:int -> transform -> int -> int
+(** [apply ~arity tr code] is the truth-table code of the transformed
+    function [g(x) = f(y) xor negate] with
+    [y_j = x_(perm j) xor flip_j]. *)
+
+val canonical : arity:int -> int -> int
+(** The class representative: the numerically smallest code in the
+    orbit of [code] under all transforms. *)
+
+val classes : arity:int -> (int * int list) list
+(** Every NPN class of the full [2^2^arity]-function space as
+    [(representative, sorted members)], sorted by representative.
+    Intended for [arity <= 3] (the [arity = 4] space has 65,536
+    functions — classify sampled codes individually with {!canonical}
+    instead). *)
+
+val class_count : arity:int -> int
+(** [List.length (classes ~arity)] — 14 for [arity = 3]. *)
+
+val is_unate : arity:int -> int -> bool
+(** Monotone (in either direction) in every variable. *)
+
+val is_canalizing : arity:int -> int -> bool
+(** Some input has a value that alone fixes the output. Constants are
+    not canalizing (convention above). *)
+
+val is_nested_canalizing : arity:int -> int -> bool
+(** Canalizing, and for {e some} canalizing input the subfunction left
+    when that input takes its non-canalizing value is recursively
+    nested-canalizing (with the 1-input identity/negation as base
+    case). Functions whose nesting chain degenerates to a constant
+    before consuming every variable — projections, say — do not
+    qualify. *)
